@@ -1,0 +1,35 @@
+// Ablation of the may-pass-local bound (§3.7, §4.1.1): throughput vs
+// fairness as the consecutive-local-handoff limit sweeps from 1 to
+// unbounded.  The paper reports (unpublished runs) that unbounded cohorts
+// out-scale the bound-64 version by ~10% while becoming grossly unfair
+// (hundreds of thousands of consecutive local handoffs).
+#include <iostream>
+
+#include "sim/apps/lbench.hpp"
+#include "util/table.hpp"
+
+int main() {
+  const std::vector<std::uint64_t> limits = {1,  4,   16,  64,
+                                             256, 4096, ~std::uint64_t{0}};
+  std::cout << "Ablation: may-pass-local bound for C-BO-MCS at 256 threads\n";
+  cohort::text_table table(
+      {"pass_limit", "Mops/s", "stddev_%", "l2_miss/CS", "avg_batch"});
+  for (std::uint64_t limit : limits) {
+    sim::lbench_params p;
+    p.threads = 256;
+    p.warmup_ns = 300'000;
+    p.duration_ns = 3'000'000;
+    p.pass_limit = limit;
+    const auto r = sim::run_lbench("C-BO-MCS", p);
+    table.start_row();
+    table.add(limit == ~std::uint64_t{0} ? std::string("unbounded")
+                                         : std::to_string(limit));
+    table.add(r.throughput_per_sec / 1e6, 3);
+    table.add(r.stddev_pct, 1);
+    table.add(r.l2_misses_per_cs, 3);
+    table.add(r.avg_batch, 1);
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation over the simulated machine: how the cohort advantage scales with
+// the number of clusters and with the remote:local latency ratio.  The
+// paper's design intuition: the more non-uniform the machine, the more lock
+// cohorting pays.
+#include <iostream>
+
+#include "sim/apps/lbench.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+sim::lbench_params params(unsigned clusters, sim::tick remote_wire) {
+  sim::lbench_params p;
+  p.threads = 128;
+  p.clusters = clusters;
+  p.warmup_ns = 300'000;
+  p.duration_ns = 3'000'000;
+  p.machine.clusters = clusters;
+  p.machine.remote_wire = remote_wire;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: cohort advantage (C-TKT-MCS vs MCS, 128 threads)\n"
+               "across cluster count and remote-transfer latency\n";
+  cohort::text_table table({"clusters", "remote_ns", "MCS_Mops", "C_Mops",
+                            "speedup"});
+  for (unsigned clusters : {2u, 4u, 8u}) {
+    for (sim::tick wire : {30u, 60u, 120u}) {
+      const auto mcs = sim::run_lbench("MCS", params(clusters, wire));
+      const auto coh = sim::run_lbench("C-TKT-MCS", params(clusters, wire));
+      table.start_row();
+      table.add(std::to_string(clusters));
+      table.add(std::to_string(wire));
+      table.add(mcs.throughput_per_sec / 1e6, 3);
+      table.add(coh.throughput_per_sec / 1e6, 3);
+      table.add(coh.throughput_per_sec / mcs.throughput_per_sec, 2);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 2: LBench throughput (critical + non-critical section pairs per
+// second) vs thread count, for the nine locks of the paper's Figure 2.
+// Paper shape: MCS lowest and flat; HBO unstable; HCLH/FC-MCS mid; all five
+// cohort locks on top, C-BO-MCS best at ~60% over FC-MCS.
+#include "sim_common.hpp"
+
+int main() {
+  bench::print_lbench_sweep(
+      "Figure 2: LBench throughput vs thread count", "ops/sec (millions)",
+      sim::fig2_lock_names(), bench::paper_thread_counts(),
+      /*abortable=*/false,
+      [](const sim::lbench_result& r) { return r.throughput_per_sec / 1e6; });
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 3: L2 coherence misses per critical section (misses served from a
+// remote cluster's cache), same experiment as Figure 2.  Lower is better;
+// the paper's log-scale plot shows cohort locks a factor >= 2 below every
+// other lock.
+#include "sim_common.hpp"
+
+int main() {
+  bench::print_lbench_sweep(
+      "Figure 3: L2 coherence misses per critical section",
+      "misses/CS (lower is better)", sim::fig2_lock_names(),
+      bench::paper_thread_counts(), /*abortable=*/false,
+      [](const sim::lbench_result& r) { return r.l2_misses_per_cs; });
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 4: the low-contention zoom of Figure 2 (1..16 threads).  Paper
+// shape: despite acquiring two locks, cohort locks stay competitive with
+// single-level locks because the extra acquisition vanishes under non-trivial
+// critical/non-critical work.
+#include "sim_common.hpp"
+
+int main() {
+  bench::print_lbench_sweep(
+      "Figure 4: LBench throughput at low contention (1-16 threads)",
+      "ops/sec (millions)", sim::fig2_lock_names(),
+      bench::low_thread_counts(), /*abortable=*/false,
+      [](const sim::lbench_result& r) { return r.throughput_per_sec / 1e6; });
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 5: fairness, as the standard deviation of per-thread throughput in
+// percent of the mean (same run as Figure 2).  Paper shape: HBO least fair
+// by far; C-BO-MCS second (the global BO lock is re-won by the releasing
+// cluster through cache arbitration); C-BO-BO milder; ticket/MCS-based
+// global locks fair (<5%).
+#include "sim_common.hpp"
+
+int main() {
+  bench::print_lbench_sweep(
+      "Figure 5: per-thread throughput standard deviation",
+      "% of mean (lower is fairer)", sim::fig2_lock_names(),
+      bench::paper_thread_counts(), /*abortable=*/false,
+      [](const sim::lbench_result& r) { return r.stddev_pct; }, 1);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 6: abortable-lock throughput (A-CLH, A-HBO, A-C-BO-BO, A-C-BO-CLH)
+// on LBench with bounded patience.  Paper shape: both abortable cohort locks
+// far above the baselines (up to 6x), A-C-BO-CLH above A-C-BO-BO at high
+// thread counts; abort rates stay ~1% or below.
+#include "sim_common.hpp"
+
+int main() {
+  bench::print_lbench_sweep(
+      "Figure 6: abortable lock throughput", "ops/sec (millions)",
+      sim::fig6_lock_names(), bench::paper_thread_counts(),
+      /*abortable=*/true,
+      [](const sim::lbench_result& r) { return r.throughput_per_sec / 1e6; });
+
+  bench::print_lbench_sweep(
+      "Figure 6 (companion): abort rate", "aborted acquisition attempts",
+      sim::fig6_lock_names(), bench::paper_thread_counts(),
+      /*abortable=*/true,
+      [](const sim::lbench_result& r) { return r.abort_rate; }, 4);
+  return 0;
+}

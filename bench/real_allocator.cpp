@@ -1,0 +1,47 @@
+// Real-machine allocator benchmark (google-benchmark): mmicro's
+// allocate/initialise/free loop against the real single-lock splay-tree
+// arena, comparing lock types (the Table 2 code path executed for real).
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "alloc/arena.hpp"
+#include "locks/pthread_lock.hpp"
+#include "numa/topology.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+template <typename Lock>
+void bench_mmicro(benchmark::State& state) {
+  static cohortalloc::arena<Lock>* arena = nullptr;
+  if (state.thread_index() == 0) {
+    cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
+    delete arena;
+    arena = new cohortalloc::arena<Lock>(16u << 20);
+  }
+  cohort::numa::set_thread_cluster(
+      static_cast<unsigned>(state.thread_index()));
+  for (auto _ : state) {
+    void* p = arena->allocate(64);
+    if (p != nullptr) {
+      // mmicro writes the first four words of every block.
+      std::memset(p, 0xab, 32);
+      arena->deallocate(p);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(bench_mmicro, cohort::pthread_lock)->Threads(1)->Threads(4);
+BENCHMARK_TEMPLATE(bench_mmicro, cohort::mcs_lock)->Threads(1)->Threads(4);
+BENCHMARK_TEMPLATE(bench_mmicro, cohort::c_tkt_tkt_lock)
+    ->Threads(1)
+    ->Threads(4);
+BENCHMARK_TEMPLATE(bench_mmicro, cohort::c_bo_mcs_lock)
+    ->Threads(1)
+    ->Threads(4);
+
+BENCHMARK_MAIN();

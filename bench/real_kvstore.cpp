@@ -1,0 +1,51 @@
+// Real-machine key-value store benchmark (google-benchmark): the Table 1
+// code path executed for real -- a memaslap-style get/set mix against the
+// single-cache-lock kv_store, with the lock type as the compared dimension.
+#include <benchmark/benchmark.h>
+
+#include "kvstore/kvstore.hpp"
+#include "locks/pthread_lock.hpp"
+#include "numa/topology.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+template <typename Lock>
+void bench_kv_mix(benchmark::State& state) {
+  static kvstore::kv_store<Lock>* kv = nullptr;
+  static std::vector<std::string>* keys = nullptr;
+  if (state.thread_index() == 0) {
+    cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
+    delete kv;
+    kv = new kvstore::kv_store<Lock>(1024);
+    if (keys == nullptr) keys = new auto(kvstore::make_keyspace(4096));
+    for (const auto& k : *keys) kv->set(k, "initial-value");
+  }
+  cohort::numa::set_thread_cluster(
+      static_cast<unsigned>(state.thread_index()));
+  const double get_ratio = static_cast<double>(state.range(0)) / 100.0;
+  cohort::xorshift rng(state.thread_index() + 1);
+  for (auto _ : state) {
+    const auto& key = (*keys)[rng.next_range(keys->size())];
+    if (rng.next_double() < get_ratio) {
+      benchmark::DoNotOptimize(kv->get(key));
+    } else {
+      kv->set(key, "updated-value");
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+// Arg = get percentage (90 / 50 / 10, Table 1's three mixes).
+BENCHMARK_TEMPLATE(bench_kv_mix, cohort::pthread_lock)
+    ->Arg(90)->Arg(50)->Arg(10)->Threads(1)->Threads(4);
+BENCHMARK_TEMPLATE(bench_kv_mix, cohort::mcs_lock)
+    ->Arg(90)->Arg(50)->Arg(10)->Threads(1)->Threads(4);
+BENCHMARK_TEMPLATE(bench_kv_mix, cohort::c_tkt_tkt_lock)
+    ->Arg(90)->Arg(50)->Arg(10)->Threads(1)->Threads(4);
+BENCHMARK_TEMPLATE(bench_kv_mix, cohort::c_bo_mcs_lock)
+    ->Arg(90)->Arg(50)->Arg(10)->Threads(1)->Threads(4);
+
+BENCHMARK_MAIN();

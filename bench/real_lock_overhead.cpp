@@ -1,0 +1,58 @@
+// Real-machine microbenchmark (google-benchmark): acquisition/release cost
+// of every real lock in this library on the host, single-threaded and at
+// small thread counts.  On a non-NUMA host this measures the §4.1.3
+// low-contention property -- cohort locks must stay competitive despite
+// acquiring two locks -- not the NUMA speedups (those come from the
+// simulated figures).
+#include <benchmark/benchmark.h>
+
+#include "cohort/locks.hpp"
+#include "locks/fcmcs.hpp"
+#include "locks/hbo.hpp"
+#include "locks/hclh.hpp"
+#include "locks/pthread_lock.hpp"
+#include "numa/topology.hpp"
+
+namespace {
+
+template <typename Lock>
+void bench_lock(benchmark::State& state) {
+  static Lock lock;  // shared across benchmark threads
+  if (state.thread_index() == 0)
+    cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
+  cohort::numa::set_thread_cluster(
+      static_cast<unsigned>(state.thread_index()));
+  long local = 0;
+  for (auto _ : state) {
+    cohort::scoped<Lock> g(lock);
+    benchmark::DoNotOptimize(++local);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(bench_lock, cohort::pthread_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::bo_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::fib_bo_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::ticket_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::mcs_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::clh_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::aclh_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::hbo_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::hclh_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::fc_mcs_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::c_bo_bo_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::c_tkt_tkt_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::c_bo_mcs_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::c_tkt_mcs_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::c_mcs_mcs_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::a_c_bo_bo_lock);
+BENCHMARK_TEMPLATE(bench_lock, cohort::a_c_bo_clh_lock);
+
+// A couple of contended points on locks that matter most for the paper.
+BENCHMARK_TEMPLATE(bench_lock, cohort::pthread_lock)->Threads(2);
+BENCHMARK_TEMPLATE(bench_lock, cohort::mcs_lock)->Threads(2);
+BENCHMARK_TEMPLATE(bench_lock, cohort::c_bo_mcs_lock)->Threads(2);
+BENCHMARK_TEMPLATE(bench_lock, cohort::c_tkt_tkt_lock)->Threads(2);
+
+BENCHMARK_MAIN();

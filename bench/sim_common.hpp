@@ -1,0 +1,62 @@
+// Shared plumbing for the figure/table reproduction binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/apps/lbench.hpp"
+#include "sim/locks/registry.hpp"
+#include "util/table.hpp"
+
+namespace bench {
+
+// The paper's x-axis for Figures 2, 3, 5 and 6.
+inline const std::vector<unsigned>& paper_thread_counts() {
+  static const std::vector<unsigned> counts = {1,  16,  32,  64,  96,
+                                               128, 160, 192, 224, 256};
+  return counts;
+}
+
+// Figure 4 zooms into 1..16 threads.
+inline const std::vector<unsigned>& low_thread_counts() {
+  static const std::vector<unsigned> counts = {1, 2, 4, 8, 16};
+  return counts;
+}
+
+inline sim::lbench_params default_lbench(unsigned threads) {
+  sim::lbench_params p;
+  p.threads = threads;
+  p.warmup_ns = 300'000;
+  p.duration_ns = 3'000'000;
+  return p;
+}
+
+// Runs the LBench sweep and prints one metric column per lock.
+// metric: extracts the reported value from an lbench_result.
+template <typename Metric>
+void print_lbench_sweep(const std::string& title, const std::string& unit,
+                        const std::vector<std::string>& locks,
+                        const std::vector<unsigned>& thread_counts,
+                        bool abortable, Metric&& metric, int precision = 3) {
+  std::cout << title << "\n"
+            << "(simulated T5440-like machine: 4 clusters; values in " << unit
+            << ")\n";
+  std::vector<std::string> header{"threads"};
+  for (const auto& l : locks) header.push_back(l);
+  cohort::text_table table(header);
+  for (unsigned n : thread_counts) {
+    table.start_row();
+    table.add(std::to_string(n));
+    for (const auto& l : locks) {
+      const auto p = default_lbench(n);
+      const auto r =
+          abortable ? sim::run_lbench_abortable(l, p) : sim::run_lbench(l, p);
+      table.add(metric(r), precision);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace bench

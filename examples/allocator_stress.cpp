@@ -1,0 +1,64 @@
+// mmicro on the real splay-tree arena (the paper's §4.3 experiment executed
+// on the host): each thread repeatedly allocates a 64-byte block, writes its
+// first words and frees it.  Compares the pthread baseline against a cohort
+// lock on the same allocator.
+//
+//   build/examples/allocator_stress [threads] [iters_per_thread]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "alloc/arena.hpp"
+#include "locks/pthread_lock.hpp"
+#include "numa/topology.hpp"
+
+namespace {
+
+template <typename Lock>
+double run_mmicro(const char* name, int threads, int iters) {
+  cohortalloc::arena<Lock> arena(32u << 20);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&arena, iters, t] {
+      cohort::numa::set_thread_cluster(static_cast<unsigned>(t));
+      for (int i = 0; i < iters; ++i) {
+        void* p = arena.allocate(64);
+        if (p != nullptr) {
+          std::memset(p, 0x5a, 32);  // first four words, as in mmicro
+          arena.deallocate(p);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  const double pairs_per_ms =
+      static_cast<double>(threads) * iters / elapsed.count();
+  std::printf("%-14s %8.0f malloc-free pairs/ms\n", name, pairs_per_ms);
+  return pairs_per_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int iters = argc > 2 ? std::atoi(argv[2]) : 100'000;
+
+  if (cohort::numa::system_topology().clusters() == 1)
+    cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
+
+  std::printf("mmicro: %d threads x %d malloc/free pairs, 64-byte blocks\n",
+              threads, iters);
+  run_mmicro<cohort::pthread_lock>("pthread", threads, iters);
+  run_mmicro<cohort::c_tkt_tkt_lock>("C-TKT-TKT", threads, iters);
+  run_mmicro<cohort::c_bo_mcs_lock>("C-BO-MCS", threads, iters);
+  std::printf(
+      "(NUMA speedups require a NUMA host; see bench/table2_malloc for the\n"
+      " simulated T5440 reproduction.)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// memaslap-style load driver against the real key-value store (the paper's
+// memcached experiment, §4.2, executed on the host).
+//
+//   build/examples/kvstore_server [threads] [get_percent] [seconds]
+//
+// Drives a get/set mix against kv_store's single cache lock and prints
+// throughput plus the cache-lock's cohort statistics.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "kvstore/kvstore.hpp"
+#include "numa/topology.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int get_percent = argc > 2 ? std::atoi(argv[2]) : 90;
+  const double seconds = argc > 3 ? std::atof(argv[3]) : 2.0;
+
+  if (cohort::numa::system_topology().clusters() == 1)
+    cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
+
+  kvstore::kv_store<cohort::c_tkt_tkt_lock> kv(4096);
+  const auto keys = kvstore::make_keyspace(10'000);
+  for (const auto& k : keys) kv.set(k, std::string(64, 'x'));
+
+  std::atomic<bool> stop{false};
+  std::atomic<long> ops{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      cohort::numa::set_thread_cluster(static_cast<unsigned>(t));
+      cohort::xorshift rng(static_cast<std::uint64_t>(t) + 42);
+      long local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto& key = keys[rng.next_range(keys.size())];
+        if (rng.next_range(100) < static_cast<std::uint64_t>(get_percent)) {
+          (void)kv.get(key);
+        } else {
+          kv.set(key, std::string(64, 'y'));
+        }
+        ++local;
+      }
+      ops.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop = true;
+  for (auto& w : workers) w.join();
+
+  const auto ks = kv.stats();
+  const auto ls = kv.cache_lock().stats();
+  std::printf("mix                  = %d%% gets / %d%% sets, %d threads\n",
+              get_percent, 100 - get_percent, threads);
+  std::printf("throughput           = %.0f ops/sec\n",
+              static_cast<double>(ops.load()) / seconds);
+  std::printf("gets=%llu (hits %llu)  sets=%llu\n",
+              static_cast<unsigned long long>(ks.gets),
+              static_cast<unsigned long long>(ks.get_hits),
+              static_cast<unsigned long long>(ks.sets));
+  std::printf("cache-lock batching  = %.1f acquisitions per global lock\n",
+              ls.avg_batch());
+  return 0;
+}

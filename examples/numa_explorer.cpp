@@ -1,0 +1,47 @@
+// Explore the simulated NUMA machine interactively: run LBench under any
+// lock/thread-count/topology combination and print the full diagnostics
+// (throughput, coherence misses, migrations, batch length, fairness).
+//
+//   build/examples/numa_explorer [lock] [threads] [clusters] [pass_limit]
+//
+// e.g.  numa_explorer C-BO-MCS 128 4 64
+//       numa_explorer MCS 64 8
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/apps/lbench.hpp"
+#include "sim/locks/registry.hpp"
+
+int main(int argc, char** argv) {
+  const std::string lock = argc > 1 ? argv[1] : "C-BO-MCS";
+  const unsigned threads = argc > 2 ? std::atoi(argv[2]) : 64;
+  const unsigned clusters = argc > 3 ? std::atoi(argv[3]) : 4;
+  const std::uint64_t pass_limit = argc > 4 ? std::atoll(argv[4]) : 64;
+
+  sim::lbench_params p;
+  p.threads = threads;
+  p.clusters = clusters;
+  p.machine.clusters = clusters;
+  p.pass_limit = pass_limit;
+  p.warmup_ns = 300'000;
+  p.duration_ns = 3'000'000;
+
+  const auto r = sim::run_lbench(lock, p);
+  if (r.throughput_per_sec < 0) {
+    std::fprintf(stderr, "unknown lock '%s'; known locks:\n", lock.c_str());
+    for (const auto& n : sim::table1_lock_names())
+      std::fprintf(stderr, "  %s\n", n.c_str());
+    return 1;
+  }
+  std::printf("lock         = %s\n", lock.c_str());
+  std::printf("threads      = %u over %u clusters\n", threads, clusters);
+  std::printf("throughput   = %.3f M ops/sec\n", r.throughput_per_sec / 1e6);
+  std::printf("L2 misses/CS = %.3f\n", r.l2_misses_per_cs);
+  std::printf("migrations   = %.3f per CS\n", r.migrations_per_cs);
+  std::printf("fairness     = %.1f%% per-thread stddev\n", r.stddev_pct);
+  if (r.avg_batch > 0)
+    std::printf("avg batch    = %.1f acquisitions per global acquire\n",
+                r.avg_batch);
+  return 0;
+}

@@ -1,0 +1,273 @@
+#include "alloc/arena.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace cohortalloc {
+
+// ---- splay tree -------------------------------------------------------------
+
+void splay_tree::rotate_up(splay_node* x) {
+  splay_node* p = x->parent;
+  splay_node* g = p->parent;
+  if (p->left == x) {
+    p->left = x->right;
+    if (x->right != nullptr) x->right->parent = p;
+    x->right = p;
+  } else {
+    p->right = x->left;
+    if (x->left != nullptr) x->left->parent = p;
+    x->left = p;
+  }
+  p->parent = x;
+  x->parent = g;
+  if (g == nullptr) {
+    root_ = x;
+  } else if (g->left == p) {
+    g->left = x;
+  } else {
+    g->right = x;
+  }
+}
+
+void splay_tree::splay(splay_node* x) {
+  while (x->parent != nullptr) {
+    splay_node* p = x->parent;
+    splay_node* g = p->parent;
+    if (g == nullptr) {
+      rotate_up(x);  // zig
+    } else if ((g->left == p) == (p->left == x)) {
+      rotate_up(p);  // zig-zig
+      rotate_up(x);
+    } else {
+      rotate_up(x);  // zig-zag
+      rotate_up(x);
+    }
+  }
+}
+
+void splay_tree::insert(splay_node* n) {
+  n->left = n->right = n->parent = nullptr;
+  if (root_ == nullptr) {
+    root_ = n;
+    ++count_;
+    return;
+  }
+  splay_node* cur = root_;
+  for (;;) {
+    // Equal keys go left so the most recently inserted equal-sized chunk is
+    // found first by find_best_fit (LIFO recycling).
+    if (n->key <= cur->key) {
+      if (cur->left == nullptr) {
+        cur->left = n;
+        n->parent = cur;
+        break;
+      }
+      cur = cur->left;
+    } else {
+      if (cur->right == nullptr) {
+        cur->right = n;
+        n->parent = cur;
+        break;
+      }
+      cur = cur->right;
+    }
+  }
+  ++count_;
+  splay(n);
+}
+
+void splay_tree::replace(splay_node* u, splay_node* v) {
+  if (u->parent == nullptr) {
+    root_ = v;
+  } else if (u->parent->left == u) {
+    u->parent->left = v;
+  } else {
+    u->parent->right = v;
+  }
+  if (v != nullptr) v->parent = u->parent;
+}
+
+splay_node* splay_tree::subtree_min(splay_node* n) {
+  while (n->left != nullptr) n = n->left;
+  return n;
+}
+
+void splay_tree::remove(splay_node* n) {
+  splay(n);
+  if (n->left == nullptr) {
+    replace(n, n->right);
+  } else if (n->right == nullptr) {
+    replace(n, n->left);
+  } else {
+    splay_node* successor = subtree_min(n->right);
+    if (successor->parent != n) {
+      replace(successor, successor->right);
+      successor->right = n->right;
+      successor->right->parent = successor;
+    }
+    replace(n, successor);
+    successor->left = n->left;
+    successor->left->parent = successor;
+  }
+  n->left = n->right = n->parent = nullptr;
+  --count_;
+}
+
+splay_node* splay_tree::find_best_fit(std::size_t k) {
+  splay_node* cur = root_;
+  splay_node* best = nullptr;
+  while (cur != nullptr) {
+    if (cur->key >= k) {
+      best = cur;
+      cur = cur->left;
+    } else {
+      cur = cur->right;
+    }
+  }
+  if (best != nullptr) splay(best);
+  return best;
+}
+
+namespace {
+bool check_subtree(const splay_node* n, const splay_node* parent,
+                   std::size_t& count) {
+  if (n == nullptr) return true;
+  if (n->parent != parent) return false;
+  ++count;
+  if (n->left != nullptr && n->left->key > n->key) return false;
+  if (n->right != nullptr && n->right->key < n->key) return false;
+  return check_subtree(n->left, n, count) && check_subtree(n->right, n, count);
+}
+}  // namespace
+
+bool splay_tree::check_invariants() const {
+  std::size_t count = 0;
+  if (!check_subtree(root_, nullptr, count)) return false;
+  return count == count_;
+}
+
+// ---- arena core -------------------------------------------------------------
+
+using detail::chunk;
+
+namespace {
+constexpr std::size_t align_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) & ~(a - 1);
+}
+}  // namespace
+
+arena_core::arena_core(std::size_t capacity_bytes)
+    : memory_(new char[align_up(capacity_bytes, 16)]),
+      capacity_(align_up(capacity_bytes, 16)) {
+  assert(capacity_ >= chunk::min_chunk);
+  chunk* c = first_chunk();
+  c->size = capacity_;
+  c->prev_size = 0;
+  c->free = true;
+  tree_insert(c);
+}
+
+chunk* arena_core::first_chunk() const {
+  return reinterpret_cast<chunk*>(memory_.get());
+}
+
+void arena_core::tree_insert(chunk* c) {
+  splay_node* n = c->node();
+  n->key = c->size;
+  free_tree_.insert(n);
+  ++stats_.free_chunks;
+}
+
+void arena_core::tree_remove(chunk* c) {
+  free_tree_.remove(c->node());
+  --stats_.free_chunks;
+}
+
+void* arena_core::allocate(std::size_t n) {
+  ++stats_.alloc_calls;
+  if (n < chunk::min_payload) n = chunk::min_payload;
+  const std::size_t need = align_up(n, 16) + chunk::header_size;
+
+  splay_node* best = free_tree_.find_best_fit(need);
+  if (best == nullptr) {
+    ++stats_.failures;
+    return nullptr;
+  }
+  chunk* c = chunk::from_payload(best);
+  tree_remove(c);
+
+  // Split when the remainder can hold a viable chunk.
+  if (c->size - need >= chunk::min_chunk) {
+    chunk* rest = reinterpret_cast<chunk*>(reinterpret_cast<char*>(c) + need);
+    rest->size = c->size - need;
+    rest->prev_size = need;
+    rest->free = true;
+    c->size = need;
+    // Fix the following chunk's back-pointer.
+    char* end = reinterpret_cast<char*>(rest) + rest->size;
+    if (end < memory_.get() + capacity_)
+      reinterpret_cast<chunk*>(end)->prev_size = rest->size;
+    tree_insert(rest);
+    ++stats_.splits;
+  }
+  c->free = false;
+  stats_.allocated_bytes += c->size - chunk::header_size;
+  return c->payload();
+}
+
+void arena_core::deallocate(void* p) {
+  if (p == nullptr) return;
+  ++stats_.free_calls;
+  chunk* c = chunk::from_payload(p);
+  assert(!c->free && "double free");
+  stats_.allocated_bytes -= c->size - chunk::header_size;
+  c->free = true;
+
+  // Coalesce with the physically following chunk.
+  char* heap_end = memory_.get() + capacity_;
+  chunk* next = c->next_phys();
+  if (reinterpret_cast<char*>(next) < heap_end && next->free) {
+    tree_remove(next);
+    c->size += next->size;
+    ++stats_.coalesces;
+  }
+  // Coalesce with the physically preceding chunk.
+  if (c->prev_size != 0) {
+    chunk* prev = c->prev_phys();
+    if (prev->free) {
+      tree_remove(prev);
+      prev->size += c->size;
+      c = prev;
+      ++stats_.coalesces;
+    }
+  }
+  // Fix the following chunk's back-pointer.
+  chunk* after = c->next_phys();
+  if (reinterpret_cast<char*>(after) < heap_end) after->prev_size = c->size;
+
+  tree_insert(c);
+}
+
+bool arena_core::check_heap() const {
+  const char* heap_end = memory_.get() + capacity_;
+  const chunk* c = first_chunk();
+  std::size_t prev_size = 0;
+  std::size_t free_count = 0;
+  while (reinterpret_cast<const char*>(c) < heap_end) {
+    if (c->size < chunk::min_chunk && c->size != 0) {
+      // allocated chunks may be smaller than min_chunk only via min_payload
+      if (c->size < chunk::header_size + chunk::min_payload) return false;
+    }
+    if (c->prev_size != prev_size) return false;
+    if (c->free) ++free_count;
+    prev_size = c->size;
+    c = reinterpret_cast<const chunk*>(reinterpret_cast<const char*>(c) +
+                                       c->size);
+  }
+  if (reinterpret_cast<const char*>(c) != heap_end) return false;
+  if (free_count != free_tree_.size()) return false;
+  return free_tree_.check_invariants();
+}
+
+}  // namespace cohortalloc

@@ -1,0 +1,122 @@
+// Single-lock splay-tree arena allocator: the Solaris-libc-malloc substitute
+// used for the Table 2 reproduction and the allocator example.
+//
+// Design (mirroring the allocator the paper evaluates):
+//   * one lock serialises all allocation metadata (the template parameter is
+//     exactly where the paper injects cohort locks via LD_PRELOAD);
+//   * free chunks live in a splay tree keyed by size; freed chunks splay to
+//     the root (LIFO recycling of equal sizes);
+//   * boundary tags enable immediate coalescing with physical neighbours.
+//
+// Not thread-caching by design: the whole point of the paper's §4.3 is that
+// a simple single-lock allocator plus a cohort lock recovers most of the
+// scalability without switching allocators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "alloc/splay.hpp"
+#include "cohort/cohort_lock.hpp"
+#include "cohort/locks.hpp"
+
+namespace cohortalloc {
+
+struct arena_stats {
+  std::size_t allocated_bytes = 0;  // currently handed out (payload)
+  std::size_t free_chunks = 0;
+  std::size_t alloc_calls = 0;
+  std::size_t free_calls = 0;
+  std::size_t splits = 0;
+  std::size_t coalesces = 0;
+  std::size_t failures = 0;  // out-of-memory returns
+};
+
+namespace detail {
+
+// Chunk header preceding every block, used or free.  Free chunks overlay a
+// splay_node on their payload (minimum payload size enforces room for it).
+struct chunk {
+  std::size_t size;       // total chunk size incl. header
+  std::size_t prev_size;  // size of the physically preceding chunk (0: first)
+  bool free;
+
+  static constexpr std::size_t header_size = 32;  // keep payload 16-aligned
+  static constexpr std::size_t min_payload = sizeof(splay_node);
+  static constexpr std::size_t min_chunk = header_size + 64;
+
+  char* payload() { return reinterpret_cast<char*>(this) + header_size; }
+  splay_node* node() { return reinterpret_cast<splay_node*>(payload()); }
+  chunk* next_phys() {
+    return reinterpret_cast<chunk*>(reinterpret_cast<char*>(this) + size);
+  }
+  chunk* prev_phys() {
+    return reinterpret_cast<chunk*>(reinterpret_cast<char*>(this) -
+                                    prev_size);
+  }
+  static chunk* from_payload(void* p) {
+    return reinterpret_cast<chunk*>(static_cast<char*>(p) - header_size);
+  }
+};
+static_assert(sizeof(chunk) <= chunk::header_size);
+
+}  // namespace detail
+
+// Lock-agnostic allocator core.  NOT thread-safe by itself; arena<Lock>
+// below adds the lock.  Exposed separately so tests can exercise the
+// allocation logic deterministically.
+class arena_core {
+ public:
+  explicit arena_core(std::size_t capacity_bytes);
+
+  void* allocate(std::size_t n);
+  void deallocate(void* p);
+
+  const arena_stats& stats() const noexcept { return stats_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // Walks the heap validating boundary tags and tree membership (tests).
+  bool check_heap() const;
+
+ private:
+  detail::chunk* first_chunk() const;
+  void tree_insert(detail::chunk* c);
+  void tree_remove(detail::chunk* c);
+
+  std::unique_ptr<char[]> memory_;
+  std::size_t capacity_;
+  splay_tree free_tree_;
+  arena_stats stats_;
+};
+
+// The thread-safe allocator: arena_core guarded by any lock with a context
+// (the paper's cohort locks, the classic locks, or pthread_lock).
+template <typename Lock = cohort::c_tkt_tkt_lock>
+class arena {
+ public:
+  explicit arena(std::size_t capacity_bytes) : core_(capacity_bytes) {}
+
+  void* allocate(std::size_t n) {
+    cohort::scoped<Lock> g(lock_);
+    return core_.allocate(n);
+  }
+
+  void deallocate(void* p) {
+    cohort::scoped<Lock> g(lock_);
+    core_.deallocate(p);
+  }
+
+  arena_stats stats() {
+    cohort::scoped<Lock> g(lock_);
+    return core_.stats();
+  }
+
+  Lock& lock() noexcept { return lock_; }
+
+ private:
+  arena_core core_;
+  Lock lock_;
+};
+
+}  // namespace cohortalloc

@@ -1,0 +1,54 @@
+// Bottom-up splay tree of free chunks, keyed by chunk size, used by the
+// single-lock arena allocator (alloc/arena.hpp).
+//
+// Matches the behaviour the paper attributes to the Solaris libc allocator
+// (§4.3): a freed block's node is splayed to the root on insert, and
+// allocation returns the first fitting block found from the root -- so among
+// equal-sized blocks the most recently freed is reallocated first.  That
+// LIFO recycling is what lets cohort locks keep blocks circulating inside
+// one cluster.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cohortalloc {
+
+struct splay_node {
+  splay_node* left = nullptr;
+  splay_node* right = nullptr;
+  splay_node* parent = nullptr;
+  std::size_t key = 0;  // chunk size in bytes
+};
+
+class splay_tree {
+ public:
+  // Inserts n (key already set) and splays it to the root.  Equal keys go
+  // towards the left subtree, so the newest equal-sized node is found first.
+  void insert(splay_node* n);
+
+  // Removes n (must be in the tree).
+  void remove(splay_node* n);
+
+  // Smallest node with key >= k, splayed to the root; nullptr if none.
+  splay_node* find_best_fit(std::size_t k);
+
+  splay_node* root() const noexcept { return root_; }
+  bool empty() const noexcept { return root_ == nullptr; }
+  std::size_t size() const noexcept { return count_; }
+
+  // Validates BST ordering and parent links; returns false on corruption
+  // (test support).
+  bool check_invariants() const;
+
+ private:
+  void rotate_up(splay_node* x);
+  void splay(splay_node* x);
+  void replace(splay_node* u, splay_node* v);
+  static splay_node* subtree_min(splay_node* n);
+
+  splay_node* root_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cohortalloc

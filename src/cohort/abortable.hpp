@@ -1,0 +1,131 @@
+// Abortable (timeout-capable) cohort locks (paper §3.6).
+//
+// The transformation is the same as cohort_lock, with two extra moving
+// parts:
+//  * waiting on either level can give up when patience expires;
+//  * a thread that acquired its local lock in GLOBAL-RELEASE state but timed
+//    out on the global lock must back out by releasing the local lock in
+//    GLOBAL-RELEASE state, so a successor acquires G itself.
+// The strengthened cohort-detection requirement -- release_local() must
+// guarantee a *viable* successor or fail -- lives in the local locks
+// (cohort_bo_lock<.., true> and cohort_aclh_lock).
+//
+// A waiter whose local grant arrives in LOCAL-RELEASE state just as it tries
+// to abort has inherited the global lock and cannot refuse it; try_lock then
+// reports success even though the deadline passed (§3.6: such a thread "is
+// in the critical section").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cohort/cohort_lock.hpp"
+#include "cohort/core.hpp"
+#include "numa/topology.hpp"
+#include "util/align.hpp"
+
+namespace cohort {
+
+struct abortable_stats : cohort_stats {
+  std::uint64_t local_timeouts = 0;   // gave up waiting on the local lock
+  std::uint64_t global_timeouts = 0;  // gave up waiting on the global lock
+};
+
+template <abortable_global_lock G, abortable_cohort_local_lock L>
+class abortable_cohort_lock {
+ public:
+  struct context {
+    typename L::context local{};
+    unsigned cluster = 0;
+    release_kind acquired{};
+  };
+
+  abortable_cohort_lock() : abortable_cohort_lock(pass_policy{}) {}
+
+  explicit abortable_cohort_lock(pass_policy policy, unsigned clusters = 0)
+      : policy_(policy),
+        clusters_(clusters != 0 ? clusters
+                                : numa::system_topology().clusters()),
+        slots_(clusters_) {}
+
+  abortable_cohort_lock(const abortable_cohort_lock&) = delete;
+  abortable_cohort_lock& operator=(const abortable_cohort_lock&) = delete;
+
+  // Returns false if the lock could not be acquired before d.
+  bool try_lock(context& ctx, deadline d) {
+    ctx.cluster = numa::thread_cluster() % clusters_;
+    slot& s = slots_[ctx.cluster].get();
+    auto r = s.lock.try_lock(ctx.local, d);
+    if (!r.has_value()) {
+      ++s.stats.local_timeouts;
+      return false;
+    }
+    ctx.acquired = *r;
+    if (*r == release_kind::global) {
+      if (!global_.try_lock(d)) {
+        // Back out: whoever acquires the local lock next must take G.
+        s.lock.release_global(ctx.local);
+        ++s.stats.global_timeouts;
+        return false;
+      }
+      s.batch = 0;
+      ++s.stats.global_acquires;
+    }
+    ++s.stats.acquisitions;
+    return true;
+  }
+
+  void lock(context& ctx) { (void)try_lock(ctx, deadline_never()); }
+
+  void unlock(context& ctx) {
+    slot& s = slots_[ctx.cluster].get();
+    if (s.batch < policy_.limit && !s.lock.alone(ctx.local)) {
+      ++s.batch;
+      if (s.lock.release_local(ctx.local)) {
+        ++s.stats.local_handoffs;
+        return;
+      }
+      // No viable successor could be guaranteed: the local lock is already
+      // released in GLOBAL-RELEASE state, so just release G.
+      ++s.stats.handoff_failures;
+      global_.unlock();
+      return;
+    }
+    global_.unlock();
+    s.lock.release_global(ctx.local);
+  }
+
+  unsigned clusters() const noexcept { return clusters_; }
+  G& global() noexcept { return global_; }
+  template <typename F>
+  void for_each_local(F&& f) {
+    for (auto& s : slots_) f(s->lock);
+  }
+
+  abortable_stats stats() const {
+    abortable_stats total;
+    for (const auto& s : slots_) {
+      total.acquisitions += s->stats.acquisitions;
+      total.global_acquires += s->stats.global_acquires;
+      total.local_handoffs += s->stats.local_handoffs;
+      total.handoff_failures += s->stats.handoff_failures;
+      total.local_timeouts += s->stats.local_timeouts;
+      total.global_timeouts += s->stats.global_timeouts;
+    }
+    return total;
+  }
+
+ private:
+  struct slot {
+    L lock{};
+    std::uint64_t batch = 0;
+    abortable_stats stats{};
+  };
+
+  pass_policy policy_;
+  unsigned clusters_;
+  G global_;
+  std::vector<padded<slot>> slots_;
+};
+
+}  // namespace cohort

@@ -1,0 +1,167 @@
+// The lock cohorting transformation (paper §2.1) and its fairness bound
+// (§3.7).
+//
+// cohort_lock<G, L> turns a thread-oblivious global lock G and a
+// cohort-detecting local lock L into a NUMA-aware lock: one L instance per
+// cluster, one shared G.  The common path -- handing the lock to a waiting
+// cluster-mate without touching G -- costs exactly one local-lock release.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "cohort/core.hpp"
+#include "numa/topology.hpp"
+#include "util/align.hpp"
+
+namespace cohort {
+
+// Releases the global lock after `limit` consecutive local handoffs (64 in
+// all of the paper's experiments).  A limit of 0 disables local handoff
+// entirely (every release is global); use unbounded_pass() to reproduce the
+// paper's "deeply unfair" unbounded variant.
+struct pass_policy {
+  std::uint64_t limit = 64;
+};
+
+inline constexpr std::uint64_t unbounded_pass =
+    ~static_cast<std::uint64_t>(0);
+
+// Counters a cohort lock keeps per cluster; reads are only meaningful when
+// the lock is quiescent (they are updated under the lock, unsynchronised).
+struct cohort_stats {
+  std::uint64_t acquisitions = 0;    // total lock() calls completed
+  std::uint64_t global_acquires = 0; // acquisitions that took the global lock
+  std::uint64_t local_handoffs = 0;  // successful release_local() handoffs
+  std::uint64_t handoff_failures = 0;// release_local() returned false (§3.6)
+
+  // Lock migrations in the paper's sense: the global lock moved between
+  // clusters.  global_acquires counts them (plus the very first acquire).
+  double avg_batch() const {
+    return global_acquires == 0
+               ? 0.0
+               : static_cast<double>(acquisitions) /
+                     static_cast<double>(global_acquires);
+  }
+};
+
+template <global_lock G, cohort_local_lock L>
+class cohort_lock {
+ public:
+  struct context {
+    typename L::context local{};
+    unsigned cluster = 0;        // filled in by lock()
+    release_kind acquired{};     // how the local lock was acquired
+  };
+
+  cohort_lock() : cohort_lock(pass_policy{}) {}
+
+  explicit cohort_lock(pass_policy policy, unsigned clusters = 0)
+      : policy_(policy),
+        clusters_(clusters != 0 ? clusters
+                                : numa::system_topology().clusters()),
+        slots_(clusters_) {}
+
+  // Locks contain atomics and cannot be copied, so per-instance tuning
+  // (e.g. backoff parameters) is applied in place after construction,
+  // before first use.
+  G& global() noexcept { return global_; }
+  template <typename F>
+  void for_each_local(F&& f) {
+    for (auto& s : slots_) f(s->lock);
+  }
+
+  // Non-copyable, non-movable: waiters hold pointers into the lock.
+  cohort_lock(const cohort_lock&) = delete;
+  cohort_lock& operator=(const cohort_lock&) = delete;
+
+  void lock(context& ctx) {
+    ctx.cluster = numa::thread_cluster() % clusters_;
+    slot& s = slots_[ctx.cluster].get();
+    ctx.acquired = s.lock.lock(ctx.local);
+    if (ctx.acquired == release_kind::global) {
+      // Previous local owner released the global lock: acquire it ourselves
+      // and start a fresh batch for this cluster.
+      global_.lock();
+      s.batch = 0;
+      ++s.stats.global_acquires;
+    }
+    ++s.stats.acquisitions;
+  }
+
+  void unlock(context& ctx) {
+    slot& s = slots_[ctx.cluster].get();
+    if (s.batch < policy_.limit && !s.lock.alone(ctx.local)) {
+      ++s.batch;
+      if (s.lock.release_local(ctx.local)) {
+        ++s.stats.local_handoffs;
+        return;
+      }
+      // Abortable local locks may fail the handoff (no viable successor);
+      // the local lock is then already released in GLOBAL-RELEASE state and
+      // we only release the global lock (§3.6).
+      ++s.stats.handoff_failures;
+      global_.unlock();
+      return;
+    }
+    // Cohort empty or batch bound reached: release globally.  Order per the
+    // paper: global first, then the local lock in GLOBAL-RELEASE state.
+    global_.unlock();
+    s.lock.release_global(ctx.local);
+  }
+
+  unsigned clusters() const noexcept { return clusters_; }
+  const pass_policy& policy() const noexcept { return policy_; }
+
+  // Aggregated statistics (quiescent reads only).
+  cohort_stats stats() const {
+    cohort_stats total;
+    for (const auto& s : slots_) {
+      total.acquisitions += s->stats.acquisitions;
+      total.global_acquires += s->stats.global_acquires;
+      total.local_handoffs += s->stats.local_handoffs;
+      total.handoff_failures += s->stats.handoff_failures;
+    }
+    return total;
+  }
+
+  cohort_stats cluster_stats(unsigned c) const {
+    return slots_.at(c)->stats;
+  }
+
+  void reset_stats() {
+    for (auto& s : slots_) s->stats = cohort_stats{};
+  }
+
+ private:
+  struct slot {
+    L lock{};
+    // batch counts consecutive local handoffs; only ever accessed by the
+    // current cohort-lock owner of this cluster, so a plain field is safe
+    // (the local lock's release/acquire edges order the accesses).
+    std::uint64_t batch = 0;
+    cohort_stats stats{};
+  };
+
+  pass_policy policy_;
+  unsigned clusters_;
+  G global_;
+  std::vector<padded<slot>> slots_;
+};
+
+// RAII guard for context-based locks.
+template <typename Lock>
+class scoped {
+ public:
+  explicit scoped(Lock& lock) : lock_(lock) { lock_.lock(ctx_); }
+  ~scoped() { lock_.unlock(ctx_); }
+  scoped(const scoped&) = delete;
+  scoped& operator=(const scoped&) = delete;
+
+ private:
+  Lock& lock_;
+  typename Lock::context ctx_{};
+};
+
+}  // namespace cohort

@@ -1,0 +1,100 @@
+// Core vocabulary of the lock-cohorting transformation (paper §2).
+//
+// A cohort lock composes:
+//   * a global lock G that is *thread-oblivious*  -- the unlock may run on a
+//     different thread than the matching lock; and
+//   * per-cluster local locks S_i with *cohort detection* -- a releaser can
+//     ask alone() ("is some thread concurrently acquiring S_i?") and can
+//     release either in LOCAL-RELEASE state (successor inherits G) or in
+//     GLOBAL-RELEASE state (successor must acquire G itself).
+//
+// The concepts below pin down the exact interface the transformation in
+// cohort_lock.hpp consumes.  alone() may return false positives (claiming a
+// cohort exists when none does is only a throughput loss -- it causes an
+// unnecessary global release); it must never return a false negative in the
+// non-abortable locks, and in abortable locks release_local() additionally
+// guarantees a *viable* successor or fails (paper §3.6).
+#pragma once
+
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <optional>
+
+namespace cohort {
+
+// How a local lock was released, as observed by the next acquirer.
+enum class release_kind : std::uint8_t {
+  global,  // previous holder released the global lock: acquire G yourself
+  local,   // previous holder kept G: you inherit ownership of G
+};
+
+// ---- timeouts -------------------------------------------------------------
+
+using lock_clock = std::chrono::steady_clock;
+using deadline = lock_clock::time_point;
+
+inline deadline deadline_after(std::chrono::nanoseconds d) {
+  return lock_clock::now() + d;
+}
+
+inline deadline deadline_never() { return deadline::max(); }
+
+inline bool expired(deadline d) {
+  return d != deadline::max() && lock_clock::now() >= d;
+}
+
+// ---- concepts -------------------------------------------------------------
+
+// A thread-oblivious lock usable as the cohort global lock.  No
+// per-acquisition context: ownership state that must travel between threads
+// lives inside the lock (e.g. the oblivious MCS lock's current queue node).
+template <typename G>
+concept global_lock = requires(G g) {
+  { g.lock() } -> std::same_as<void>;
+  { g.unlock() } -> std::same_as<void>;
+  requires G::is_thread_oblivious;
+};
+
+// A global lock that additionally supports bounded-patience acquisition.
+template <typename G>
+concept abortable_global_lock = global_lock<G> && requires(G g, deadline d) {
+  { g.try_lock(d) } -> std::same_as<bool>;
+};
+
+// A cohort-detecting local lock.
+//
+//   lock(ctx)           blocks; returns the release state it acquired in.
+//   alone(ctx)          cohort detection; callable only by the holder.
+//   release_local(ctx)  attempt a local handoff (successor inherits G).
+//                       Returns true on success.  On false the lock has been
+//                       released in GLOBAL-RELEASE state and the caller must
+//                       release G (and must NOT call release_global).
+//                       Non-abortable locks never fail here.
+//   release_global(ctx) release; next acquirer must acquire G.
+template <typename L>
+concept cohort_local_lock =
+    requires(L l, typename L::context c) {
+      { l.lock(c) } -> std::same_as<release_kind>;
+      { l.alone(c) } -> std::same_as<bool>;
+      { l.release_local(c) } -> std::same_as<bool>;
+      { l.release_global(c) } -> std::same_as<void>;
+    };
+
+// A local lock whose acquisition can abort.  try_lock returns nullopt when
+// patience runs out; the strengthened cohort-detection requirement (§3.6) is
+// carried by release_local()'s may-fail contract above.
+template <typename L>
+concept abortable_cohort_local_lock =
+    cohort_local_lock<L> && requires(L l, typename L::context c, deadline d) {
+      {
+        l.try_lock(c, d)
+      } -> std::same_as<std::optional<release_kind>>;
+    };
+
+// ---- empty context --------------------------------------------------------
+
+// Locks that keep no per-acquisition state (BO, ticket) use this.
+struct empty_context {};
+
+}  // namespace cohort

@@ -1,0 +1,44 @@
+// Named cohort-lock instantiations matching the paper (§3), plus the one
+// public umbrella header a downstream user needs.
+//
+//   C-BO-BO     global BO,     local BO            (§3.1)
+//   C-TKT-TKT   global ticket, local ticket        (§3.2)
+//   C-BO-MCS    global BO,     local MCS           (§3.3, Figure 1)
+//   C-MCS-MCS   global MCS,    local MCS           (§3.4)
+//   C-TKT-MCS   global ticket, local MCS           (§3.5)
+//   A-C-BO-BO   abortable: global BO, local BO     (§3.6.1)
+//   A-C-BO-CLH  abortable: global BO, local A-CLH  (§3.6.2)
+//
+// Per the paper's implementation note (§4.1.1), the *global* BO lock of a
+// cohort lock is expected to be lightly contended, so it spins bare-bones
+// and never backs off (tas_spin_lock).
+#pragma once
+
+#include "cohort/abortable.hpp"
+#include "cohort/cohort_lock.hpp"
+#include "locks/clh.hpp"
+#include "locks/mcs.hpp"
+#include "locks/park.hpp"
+#include "locks/tatas.hpp"
+#include "locks/ticket.hpp"
+
+namespace cohort {
+
+using c_bo_bo_lock = cohort_lock<tas_spin_lock, cohort_bo_lock<exp_backoff>>;
+using c_tkt_tkt_lock = cohort_lock<ticket_lock, cohort_ticket_lock>;
+using c_bo_mcs_lock = cohort_lock<tas_spin_lock, cohort_mcs_lock>;
+using c_tkt_mcs_lock = cohort_lock<ticket_lock, cohort_mcs_lock>;
+using c_mcs_mcs_lock = cohort_lock<oblivious_mcs_lock, cohort_mcs_lock>;
+
+using a_c_bo_bo_lock =
+    abortable_cohort_lock<tas_spin_lock, cohort_bo_lock<exp_backoff, true>>;
+using a_c_bo_clh_lock =
+    abortable_cohort_lock<tas_spin_lock, cohort_aclh_lock>;
+
+// Extension (paper §2.1's "as easily applied to blocking-locks"): a hybrid
+// that spins within a cluster and *blocks* across clusters -- remote cohorts
+// sleep in the kernel on the futex-based global lock while the owning
+// cluster works through its batch.
+using c_park_mcs_lock = cohort_lock<park_lock, cohort_mcs_lock>;
+
+}  // namespace cohort

@@ -1,0 +1,121 @@
+// libcohort_pthread.so: installs cohort locks under the pthread_mutex API.
+//
+// This is the paper's deployment vehicle (§4.2): memcached was evaluated
+// *without touching its sources or binary* by LD_PRELOADing an interpose
+// library over the dynamically linked pthread functions.  Usage:
+//
+//   LD_PRELOAD=./libcohort_pthread.so ./your_program
+//
+// Every pthread_mutex_t is transparently backed by a C-TKT-TKT cohort lock
+// (chosen because both its component locks are context-light: the only
+// per-acquisition state is the local ticket, kept in a per-thread table).
+//
+// Scope: pthread_mutex_lock / trylock / unlock.  Programs that rely on
+// pthread_cond_* with interposed mutexes are not supported (condition
+// variables reach into the mutex representation); the paper's memcached
+// experiment interposed on Solaris which has the same caveat class.
+#include <pthread.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "cohort/locks.hpp"
+
+namespace {
+
+using lock_type = cohort::c_tkt_tkt_lock;
+
+// Fixed-size, lock-free (CAS-insert) open-addressing table from mutex
+// address to cohort lock instance.  No allocation on the lock path after
+// the lazily constructed singleton; slots are never removed (mutex destroy
+// just abandons the slot -- bounded by table capacity).
+constexpr std::size_t table_bits = 12;
+constexpr std::size_t table_size = 1u << table_bits;  // 4096 distinct mutexes
+
+struct slot {
+  std::atomic<pthread_mutex_t*> owner{nullptr};
+  lock_type* lock = nullptr;
+};
+
+struct registry {
+  slot slots[table_size];
+
+  lock_type* lookup(pthread_mutex_t* m) {
+    const std::uintptr_t h =
+        (reinterpret_cast<std::uintptr_t>(m) >> 4) * 0x9e3779b97f4a7c15ULL;
+    std::size_t i = (h >> (64 - table_bits)) & (table_size - 1);
+    for (std::size_t probes = 0; probes < table_size; ++probes) {
+      slot& s = slots[i];
+      pthread_mutex_t* cur = s.owner.load(std::memory_order_acquire);
+      if (cur == m) return s.lock;
+      if (cur == nullptr) {
+        // Claim the slot; construct the lock first so a racing reader that
+        // observes owner==m also sees the lock pointer.
+        auto* lk = new lock_type;
+        pthread_mutex_t* expected = nullptr;
+        s.lock = lk;  // benign race: only the CAS winner's value is read
+        if (s.owner.compare_exchange_strong(expected, m,
+                                            std::memory_order_release,
+                                            std::memory_order_acquire)) {
+          return lk;
+        }
+        delete lk;
+        if (expected == m) return s.lock;
+      }
+      i = (i + 1) & (table_size - 1);
+    }
+    return nullptr;  // table full
+  }
+};
+
+registry& get_registry() {
+  static registry* r = new registry;  // leaked: must outlive everything
+  return *r;
+}
+
+// Per-thread acquisition contexts, one per registry slot.
+thread_local lock_type::context tls_ctx[table_size];
+
+std::size_t slot_index(lock_type* lk) {
+  registry& r = get_registry();
+  for (std::size_t i = 0; i < table_size; ++i)
+    if (r.slots[i].lock == lk) return i;
+  return 0;
+}
+
+}  // namespace
+
+extern "C" {
+
+int pthread_mutex_lock(pthread_mutex_t* m) {
+  registry& r = get_registry();
+  lock_type* lk = r.lookup(m);
+  if (lk == nullptr) return 0;
+  const std::uintptr_t h =
+      (reinterpret_cast<std::uintptr_t>(m) >> 4) * 0x9e3779b97f4a7c15ULL;
+  std::size_t i = (h >> (64 - table_bits)) & (table_size - 1);
+  // Re-probe to the actual slot index for the context table.
+  while (r.slots[i].lock != lk) i = (i + 1) & (table_size - 1);
+  lk->lock(tls_ctx[i]);
+  return 0;
+}
+
+int pthread_mutex_trylock(pthread_mutex_t* m) {
+  // Cohort locks do not expose try_lock in the non-abortable variant; fall
+  // back to a full acquisition (safe: strictly stronger).
+  return pthread_mutex_lock(m);
+}
+
+int pthread_mutex_unlock(pthread_mutex_t* m) {
+  registry& r = get_registry();
+  lock_type* lk = r.lookup(m);
+  if (lk == nullptr) return 0;
+  const std::uintptr_t h =
+      (reinterpret_cast<std::uintptr_t>(m) >> 4) * 0x9e3779b97f4a7c15ULL;
+  std::size_t i = (h >> (64 - table_bits)) & (table_size - 1);
+  while (r.slots[i].lock != lk) i = (i + 1) & (table_size - 1);
+  lk->unlock(tls_ctx[i]);
+  return 0;
+}
+
+}  // extern "C"

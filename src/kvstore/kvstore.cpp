@@ -1,0 +1,21 @@
+#include "kvstore/kvstore.hpp"
+
+namespace kvstore {
+
+std::uint64_t fnv1a64(const std::string& s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<std::string> make_keyspace(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back("key" + std::to_string(i));
+  return keys;
+}
+
+}  // namespace kvstore

@@ -1,0 +1,143 @@
+// In-memory key-value store with a single "cache lock", the memcached
+// substitute for Table 1 (DESIGN.md §2).
+//
+// memcached 1.4 mediates all hash-table and LRU access through one pthread
+// mutex; kv_store reproduces that architecture with the lock type as a
+// template parameter so the paper's interposition experiment becomes a
+// one-line type change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cohort/cohort_lock.hpp"
+#include "cohort/locks.hpp"
+
+namespace kvstore {
+
+// FNV-1a, the classic string hash (memcached's default family).
+std::uint64_t fnv1a64(const std::string& s) noexcept;
+
+struct kv_stats {
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t evictions = 0;
+};
+
+template <typename Lock = cohort::c_tkt_tkt_lock>
+class kv_store {
+ public:
+  // max_items == 0 disables LRU eviction.
+  explicit kv_store(std::size_t buckets = 1024, std::size_t max_items = 0)
+      : buckets_(buckets), max_items_(max_items) {}
+
+  std::optional<std::string> get(const std::string& key) {
+    cohort::scoped<Lock> g(cache_lock_);
+    ++stats_.gets;
+    item* it = find(key);
+    if (it == nullptr) return std::nullopt;
+    ++stats_.get_hits;
+    touch(it);
+    return it->value;
+  }
+
+  void set(const std::string& key, std::string value) {
+    cohort::scoped<Lock> g(cache_lock_);
+    ++stats_.sets;
+    item* it = find(key);
+    if (it != nullptr) {
+      it->value = std::move(value);
+      touch(it);
+      return;
+    }
+    lru_.push_front(item{key, std::move(value), {}});
+    item& fresh = lru_.front();
+    fresh.lru_pos = lru_.begin();
+    bucket_of(key).push_back(&fresh);
+    if (max_items_ != 0 && lru_.size() > max_items_) evict_oldest();
+  }
+
+  bool erase(const std::string& key) {
+    cohort::scoped<Lock> g(cache_lock_);
+    item* it = find(key);
+    if (it == nullptr) return false;
+    unlink(it);
+    return true;
+  }
+
+  std::size_t size() {
+    cohort::scoped<Lock> g(cache_lock_);
+    return lru_.size();
+  }
+
+  kv_stats stats() {
+    cohort::scoped<Lock> g(cache_lock_);
+    return stats_;
+  }
+
+  Lock& cache_lock() noexcept { return cache_lock_; }
+
+ private:
+  struct item {
+    std::string key;
+    std::string value;
+    typename std::list<item>::iterator lru_pos;
+  };
+
+  std::vector<item*>& bucket_of(const std::string& key) {
+    return table_[fnv1a64(key) % buckets_];
+  }
+
+  item* find(const std::string& key) {
+    for (item* it : bucket_of(key))
+      if (it->key == key) return it;
+    return nullptr;
+  }
+
+  void touch(item* it) {
+    // Move to the LRU front (memcached's bump on access).
+    lru_.splice(lru_.begin(), lru_, it->lru_pos);
+    it->lru_pos = lru_.begin();
+  }
+
+  void unlink(item* it) {
+    auto& bucket = bucket_of(it->key);
+    for (auto b = bucket.begin(); b != bucket.end(); ++b) {
+      if (*b == it) {
+        bucket.erase(b);
+        break;
+      }
+    }
+    lru_.erase(it->lru_pos);
+  }
+
+  void evict_oldest() {
+    item& victim = lru_.back();
+    ++stats_.evictions;
+    unlink(&victim);
+  }
+
+  std::size_t buckets_;
+  std::size_t max_items_;
+  std::vector<std::vector<item*>> table_{buckets_};
+  std::list<item> lru_;
+  kv_stats stats_;
+  Lock cache_lock_;
+};
+
+// memaslap-style load description: a get/set mix over a keyspace.
+struct workload_mix {
+  double get_ratio = 0.9;
+  std::size_t keyspace = 10'000;
+  std::size_t value_bytes = 64;
+};
+
+// Pre-generated key names ("key<i>") shared by driver threads.
+std::vector<std::string> make_keyspace(std::size_t n);
+
+}  // namespace kvstore

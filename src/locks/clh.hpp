@@ -1,0 +1,293 @@
+// CLH queue locks:
+//   * clh_lock         -- the classic implicit-predecessor queue lock [Craig],
+//   * aclh_lock        -- Scott's abortable CLH (PODC'02), the A-CLH baseline
+//                         of Figure 6,
+//   * cohort_aclh_lock -- the abortable cohort-detecting local lock of
+//                         A-C-BO-CLH (paper §3.6.2), with the
+//                         successor-aborted flag colocated in the node word
+//                         so release and abort linearise on one CAS.
+//
+// All CLH variants recycle nodes the standard way: after acquiring through a
+// predecessor's node, that node becomes the thread's spare for its next
+// acquisition.  Aborted nodes are reclaimed by the successor that bypasses
+// them and returned to the *owning thread's* pool (paper §3.6.2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "cohort/core.hpp"
+#include "util/align.hpp"
+#include "util/pool.hpp"
+#include "util/spin.hpp"
+
+namespace cohort {
+
+namespace clh_detail {
+
+struct node : pool_node {
+  // Interpretation (cohort_aclh_lock uses all of it, the simpler locks a
+  // subset):
+  //   tag_busy / tag_busy|flag_sa  : holder or waiter in front
+  //   tag_local_release            : released, successor inherits G
+  //   tag_global_release           : released, successor must acquire G
+  //   aligned pointer (low bits 0) : node aborted; value is its predecessor
+  std::atomic<std::uintptr_t> word{0};
+  node_pool<node>* owner = nullptr;
+};
+
+inline constexpr std::uintptr_t tag_busy = 1;
+inline constexpr std::uintptr_t tag_local_release = 2;
+inline constexpr std::uintptr_t tag_global_release = 3;
+inline constexpr std::uintptr_t flag_sa = 4;  // successor aborted
+inline constexpr std::uintptr_t tag_mask = 7;
+
+inline bool is_pointer(std::uintptr_t w) { return (w & tag_mask) == 0; }
+inline node* as_pointer(std::uintptr_t w) {
+  return reinterpret_cast<node*>(w);
+}
+
+inline node* fresh_node() {
+  auto& pool = thread_local_pool<node>();
+  node* n = pool.acquire();
+  n->owner = &pool;
+  return n;
+}
+
+inline void reclaim(node* n) { n->owner->release(n); }
+
+// Per-acquisition state shared by the CLH variants.  `mine` is the node this
+// context will enqueue next (lazily allocated); after a successful
+// acquisition it is the node currently *in* the queue and `taken_pred` is
+// the predecessor node we reclaimed, which becomes `mine` again at release.
+struct context {
+  node* mine = nullptr;
+  node* taken_pred = nullptr;
+
+  context() = default;
+  context(const context&) = delete;
+  context& operator=(const context&) = delete;
+  ~context() {
+    // Only spare nodes are owned here; enqueued nodes belong to the queue.
+    if (mine != nullptr && taken_pred == nullptr) reclaim(mine);
+  }
+};
+
+}  // namespace clh_detail
+
+// ---- classic CLH lock -------------------------------------------------------
+
+class clh_lock {
+ public:
+  using context = clh_detail::context;
+
+  clh_lock() {
+    clh_detail::node* dummy = clh_detail::fresh_node();
+    dummy->word.store(clh_detail::tag_global_release,
+                      std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  void lock(context& ctx) {
+    using namespace clh_detail;
+    if (ctx.mine == nullptr) ctx.mine = fresh_node();
+    node* me = ctx.mine;
+    me->word.store(tag_busy, std::memory_order_relaxed);
+    node* pred = tail_.exchange(me, std::memory_order_acq_rel);
+    spin_until([&] {
+      return pred->word.load(std::memory_order_acquire) != tag_busy;
+    });
+    ctx.taken_pred = pred;
+  }
+
+  void unlock(context& ctx) {
+    using namespace clh_detail;
+    ctx.mine->word.store(tag_global_release, std::memory_order_release);
+    ctx.mine = ctx.taken_pred;  // standard CLH node recycling
+    ctx.taken_pred = nullptr;
+  }
+
+  bool is_locked() const {
+    clh_detail::node* t = tail_.load(std::memory_order_acquire);
+    return t->word.load(std::memory_order_acquire) == clh_detail::tag_busy;
+  }
+
+ private:
+  alignas(cache_line_size) std::atomic<clh_detail::node*> tail_;
+};
+
+// ---- abortable CLH lock (Scott PODC'02) --------------------------------------
+//
+// A waiter spins on its predecessor's word.  To abort it simply publishes its
+// own predecessor in its node word; the successor notices, re-targets its
+// spin at that predecessor and reclaims the aborted node.  Because the grant
+// lives on the *predecessor's* word (not the aborter's), an abort can never
+// lose a concurrent grant: the bypassing successor finds it.
+class aclh_lock {
+ public:
+  using context = clh_detail::context;
+
+  aclh_lock() {
+    clh_detail::node* dummy = clh_detail::fresh_node();
+    dummy->word.store(clh_detail::tag_global_release,
+                      std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  // Returns false when patience expired before the lock was granted.
+  bool try_lock(context& ctx, deadline d) {
+    using namespace clh_detail;
+    if (ctx.mine == nullptr) ctx.mine = fresh_node();
+    node* me = ctx.mine;
+    me->word.store(tag_busy, std::memory_order_relaxed);
+    node* pred = tail_.exchange(me, std::memory_order_acq_rel);
+    spin_wait w;
+    for (;;) {
+      const std::uintptr_t pw = pred->word.load(std::memory_order_acquire);
+      if (pw == tag_global_release || pw == tag_local_release) {
+        ctx.taken_pred = pred;
+        return true;
+      }
+      if (is_pointer(pw)) {
+        // Predecessor aborted: bypass it and return its node to its owner.
+        node* next_pred = as_pointer(pw);
+        reclaim(pred);
+        pred = next_pred;
+        continue;
+      }
+      if (expired(d)) {
+        // Leave our node in the queue with our predecessor made explicit;
+        // whoever spins on us will bypass to pred.
+        me->word.store(reinterpret_cast<std::uintptr_t>(pred),
+                       std::memory_order_release);
+        ctx.mine = nullptr;  // node now belongs to the queue
+        return false;
+      }
+      w.spin();
+    }
+  }
+
+  void lock(context& ctx) { (void)try_lock(ctx, deadline_never()); }
+
+  void unlock(context& ctx) {
+    using namespace clh_detail;
+    ctx.mine->word.store(tag_global_release, std::memory_order_release);
+    ctx.mine = ctx.taken_pred;
+    ctx.taken_pred = nullptr;
+  }
+
+ private:
+  alignas(cache_line_size) std::atomic<clh_detail::node*> tail_;
+};
+
+// ---- abortable cohort-detecting local CLH lock (§3.6.2) ----------------------
+//
+// Differences from aclh_lock:
+//   * releases carry a state (LOCAL-RELEASE / GLOBAL-RELEASE);
+//   * each node carries a successor-aborted (SA) flag *in the same word* as
+//     the state/pointer, so "my successor aborts" and "I hand off locally"
+//     are CASes on one word and cannot interleave badly:
+//       - abort protocol: CAS spin-target's word BUSY -> BUSY|SA, then
+//         publish the explicit predecessor in your own word;
+//       - local handoff:  CAS own word BUSY -> LOCAL-RELEASE; failure means
+//         SA got set, i.e. no viable successor can be guaranteed.
+//   * a waiter whose grant arrives as it tries to abort simply acquires the
+//     lock (the release CAS won); §3.6's requirement that a thread granted a
+//     local release is already "in the critical section".
+class cohort_aclh_lock {
+ public:
+  using context = clh_detail::context;
+
+  cohort_aclh_lock() {
+    clh_detail::node* dummy = clh_detail::fresh_node();
+    dummy->word.store(clh_detail::tag_global_release,
+                      std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  std::optional<release_kind> try_lock(context& ctx, deadline d) {
+    using namespace clh_detail;
+    if (ctx.mine == nullptr) ctx.mine = fresh_node();
+    node* me = ctx.mine;
+    me->word.store(tag_busy, std::memory_order_relaxed);
+    node* pred = tail_.exchange(me, std::memory_order_acq_rel);
+    spin_wait w;
+    for (;;) {
+      std::uintptr_t pw = pred->word.load(std::memory_order_acquire);
+      if (pw == tag_local_release || pw == tag_global_release) {
+        ctx.taken_pred = pred;
+        return pw == tag_local_release ? release_kind::local
+                                       : release_kind::global;
+      }
+      if (is_pointer(pw)) {
+        node* next_pred = as_pointer(pw);
+        reclaim(pred);
+        pred = next_pred;
+        continue;
+      }
+      if (expired(d)) {
+        // Step 1 (§3.6.2): mark our spin target's successor-aborted flag.
+        // The CAS races with the target's release CAS; if we lose, the word
+        // changed -- re-examine it, we may have been granted the lock.
+        if (pred->word.compare_exchange_weak(pw, pw | flag_sa,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+          // Step 2: make our predecessor explicit; our node now belongs to
+          // whichever successor bypasses it.
+          me->word.store(reinterpret_cast<std::uintptr_t>(pred),
+                         std::memory_order_release);
+          ctx.mine = nullptr;
+          return std::nullopt;
+        }
+        continue;
+      }
+      w.spin();
+    }
+  }
+
+  release_kind lock(context& ctx) {
+    return *try_lock(ctx, deadline_never());
+  }
+
+  bool alone(context& ctx) const {
+    return tail_.load(std::memory_order_acquire) == ctx.mine;
+  }
+
+  bool release_local(context& ctx) {
+    using namespace clh_detail;
+    std::uintptr_t expect = tag_busy;
+    if (ctx.mine->word.compare_exchange_strong(expect, tag_local_release,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+      recycle(ctx);
+      return true;
+    }
+    // SA was set: some successor aborted, so a viable successor cannot be
+    // guaranteed.  Release in GLOBAL-RELEASE state; any waiter that arrives
+    // (or re-targets onto us) will acquire the global lock itself, spinning
+    // on it until our caller releases it.  (The paper releases G first and
+    // then flips the state; either order is deadlock-free, and doing the
+    // state flip here keeps release_local's "on false the local lock is
+    // fully released" contract uniform across lock types.)
+    ctx.mine->word.store(tag_global_release, std::memory_order_release);
+    recycle(ctx);
+    return false;
+  }
+
+  void release_global(context& ctx) {
+    ctx.mine->word.store(clh_detail::tag_global_release,
+                         std::memory_order_release);
+    recycle(ctx);
+  }
+
+ private:
+  static void recycle(context& ctx) {
+    ctx.mine = ctx.taken_pred;
+    ctx.taken_pred = nullptr;
+  }
+
+  alignas(cache_line_size) std::atomic<clh_detail::node*> tail_;
+};
+
+}  // namespace cohort

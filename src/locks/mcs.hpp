@@ -1,0 +1,238 @@
+// MCS queue locks (Mellor-Crummey & Scott):
+//   * mcs_lock          -- the classic lock (NUMA-oblivious baseline),
+//   * cohort_mcs_lock   -- local lock with 3-state grants for C-*-MCS (§3.3),
+//   * oblivious_mcs_lock-- global MCS whose queue nodes circulate through
+//                          per-thread pools so that a different thread can
+//                          release than acquired (C-MCS-MCS, §3.4).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cohort/core.hpp"
+#include "util/align.hpp"
+#include "util/pool.hpp"
+#include "util/spin.hpp"
+
+namespace cohort {
+
+// ---- classic MCS lock -------------------------------------------------------
+
+class mcs_lock {
+ public:
+  struct qnode {
+    std::atomic<qnode*> next{nullptr};
+    std::atomic<bool> granted{false};
+  };
+  struct context {
+    qnode node;
+  };
+
+  void lock(context& ctx) {
+    qnode* me = &ctx.node;
+    me->next.store(nullptr, std::memory_order_relaxed);
+    me->granted.store(false, std::memory_order_relaxed);
+    qnode* pred = tail_.exchange(me, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      pred->next.store(me, std::memory_order_release);
+      spin_until([&] { return me->granted.load(std::memory_order_acquire); });
+    }
+  }
+
+  void unlock(context& ctx) {
+    qnode* me = &ctx.node;
+    qnode* succ = me->next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      qnode* expected = me;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed))
+        return;
+      // A successor swapped the tail but has not linked yet.
+      spin_until([&] {
+        return (succ = me->next.load(std::memory_order_acquire)) != nullptr;
+      });
+    }
+    succ->granted.store(true, std::memory_order_release);
+  }
+
+  bool is_locked() const {
+    return tail_.load(std::memory_order_acquire) != nullptr;
+  }
+
+ private:
+  alignas(cache_line_size) std::atomic<qnode*> tail_{nullptr};
+};
+
+// ---- cohort-detecting local MCS lock (§3.3) ---------------------------------
+//
+// The grant written into the successor's node carries the release state
+// (busy / release-local / release-global).  A thread arriving at an empty
+// queue acquired in GLOBAL-RELEASE state by definition (it has no
+// predecessor to inherit the global lock from -- Figure 1).
+// alone() is the non-null-successor check; a successor that has swapped the
+// tail but not linked yet yields a false positive, which only costs an
+// unnecessary global release.
+class cohort_mcs_lock {
+ public:
+  struct qnode {
+    std::atomic<qnode*> next{nullptr};
+    std::atomic<std::uint8_t> state{state_busy};
+  };
+  struct context {
+    qnode node;
+  };
+
+  release_kind lock(context& ctx) {
+    qnode* me = &ctx.node;
+    me->next.store(nullptr, std::memory_order_relaxed);
+    me->state.store(state_busy, std::memory_order_relaxed);
+    qnode* pred = tail_.exchange(me, std::memory_order_acq_rel);
+    if (pred == nullptr) return release_kind::global;
+    pred->next.store(me, std::memory_order_release);
+    std::uint8_t s;
+    spin_until([&] {
+      s = me->state.load(std::memory_order_acquire);
+      return s != state_busy;
+    });
+    return s == state_release_local ? release_kind::local
+                                    : release_kind::global;
+  }
+
+  bool alone(context& ctx) const {
+    return ctx.node.next.load(std::memory_order_acquire) == nullptr;
+  }
+
+  bool release_local(context& ctx) {
+    // Precondition: alone() returned false, so the successor is linked.
+    qnode* succ = ctx.node.next.load(std::memory_order_acquire);
+    succ->state.store(state_release_local, std::memory_order_release);
+    return true;
+  }
+
+  void release_global(context& ctx) {
+    qnode* me = &ctx.node;
+    qnode* succ = me->next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      qnode* expected = me;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed))
+        return;
+      spin_until([&] {
+        return (succ = me->next.load(std::memory_order_acquire)) != nullptr;
+      });
+    }
+    succ->state.store(state_release_global, std::memory_order_release);
+  }
+
+  bool is_locked() const {
+    return tail_.load(std::memory_order_acquire) != nullptr;
+  }
+
+ private:
+  static constexpr std::uint8_t state_busy = 0;
+  static constexpr std::uint8_t state_release_local = 1;
+  static constexpr std::uint8_t state_release_global = 2;
+
+  alignas(cache_line_size) std::atomic<qnode*> tail_{nullptr};
+};
+
+// ---- thread-oblivious global MCS lock (§3.4) --------------------------------
+//
+// The acquiring thread's queue node must stay in the queue until some *other*
+// cohort thread releases the lock, so nodes cannot live on the acquirer's
+// stack.  Nodes come from per-thread pools with multi-producer returns
+// (util/pool.hpp); the releaser returns the node to its owner's pool.  Pools
+// are process-lifetime (deliberately leaked) so a node can be returned after
+// its owning thread exited.
+class oblivious_mcs_lock {
+ public:
+  static constexpr bool is_thread_oblivious = true;
+  using context = empty_context;
+
+  void lock() {
+    gnode* me = acquire_node();
+    me->next.store(nullptr, std::memory_order_relaxed);
+    me->granted.store(false, std::memory_order_relaxed);
+    gnode* pred = tail_.exchange(me, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      pred->next.store(me, std::memory_order_release);
+      spin_until([&] { return me->granted.load(std::memory_order_acquire); });
+    }
+    // Only the lock holder (and, through the cohort handoff chain, the
+    // eventual releaser) touches current_.
+    current_ = me;
+  }
+
+  void unlock() {
+    gnode* me = current_;
+    current_ = nullptr;
+    gnode* succ = me->next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      gnode* expected = me;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        me->owner->release(me);
+        return;
+      }
+      spin_until([&] {
+        return (succ = me->next.load(std::memory_order_acquire)) != nullptr;
+      });
+    }
+    succ->granted.store(true, std::memory_order_release);
+    me->owner->release(me);
+  }
+
+  void lock(context&) { lock(); }
+  void unlock(context&) { unlock(); }
+
+  bool is_locked() const {
+    return tail_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  // Diagnostics for tests: how many nodes this thread's pool has allocated.
+  static std::size_t nodes_allocated_this_thread() {
+    return my_pool().allocated();
+  }
+
+ private:
+  struct gnode : pool_node {
+    std::atomic<gnode*> next{nullptr};
+    std::atomic<bool> granted{false};
+    node_pool<gnode>* owner = nullptr;
+  };
+
+  // Process-lifetime per-thread pools.  The registry itself is leaked on
+  // purpose: queue nodes may be returned to a pool after the owning thread
+  // has exited, so pools must never be destroyed.
+  static node_pool<gnode>& my_pool() {
+    static std::mutex* reg_mutex = new std::mutex;
+    static std::vector<node_pool<gnode>*>* registry =
+        new std::vector<node_pool<gnode>*>;
+    thread_local node_pool<gnode>* pool = [] {
+      auto* p = new node_pool<gnode>;
+      std::lock_guard<std::mutex> g(*reg_mutex);
+      registry->push_back(p);
+      return p;
+    }();
+    return *pool;
+  }
+
+  gnode* acquire_node() {
+    auto& pool = my_pool();
+    gnode* n = pool.acquire();
+    n->owner = &pool;
+    return n;
+  }
+
+  alignas(cache_line_size) std::atomic<gnode*> tail_{nullptr};
+  // Queue node of the current holder; protected by the lock itself.
+  gnode* current_ = nullptr;
+};
+
+}  // namespace cohort

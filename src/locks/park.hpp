@@ -1,0 +1,95 @@
+// A futex-based spin-then-park lock, and with it the blocking cohort locks
+// the paper's §2.1 promises ("lock cohorting ... could be as easily applied
+// to blocking-locks").
+//
+// The futex protocol (word: 0 free / 1 locked / 2 locked-contended) is
+// thread-oblivious -- any thread may store 0 and wake a sleeper -- so
+// park_lock can serve as a cohort *global* lock: waiters from other clusters
+// sleep in the kernel while a cohort works through its batch, and whichever
+// cohort member ends the batch performs the wake.  Combined with a spinning
+// local lock this gives a spin-locally/block-globally hybrid.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "cohort/core.hpp"
+#include "util/align.hpp"
+#include "util/spin.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace cohort {
+
+class park_lock {
+ public:
+  static constexpr bool is_thread_oblivious = true;
+  using context = empty_context;
+
+  void lock() {
+    std::uint32_t w = 0;
+    if (word_.compare_exchange_strong(w, 1, std::memory_order_acquire,
+                                      std::memory_order_relaxed))
+      return;
+    // Adaptive phase: poll briefly before paying the syscall.
+    for (int i = 0; i < adaptive_spins; ++i) {
+      cpu_relax();
+      w = word_.load(std::memory_order_relaxed);
+      if (w == 0 &&
+          word_.compare_exchange_weak(w, 1, std::memory_order_acquire,
+                                      std::memory_order_relaxed))
+        return;
+    }
+    // Park until the word can be claimed; always leave it marked contended
+    // so the releaser knows to wake someone.
+    while (word_.exchange(2, std::memory_order_acquire) != 0)
+      futex_wait(2);
+  }
+
+  bool try_lock() {
+    std::uint32_t w = 0;
+    return word_.compare_exchange_strong(w, 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() {
+    if (word_.exchange(0, std::memory_order_release) == 2) futex_wake_one();
+  }
+
+  void lock(context&) { lock(); }
+  void unlock(context&) { unlock(); }
+
+  bool is_locked() const {
+    return word_.load(std::memory_order_acquire) != 0;
+  }
+
+ private:
+  static constexpr int adaptive_spins = 256;
+
+  void futex_wait(std::uint32_t expected) {
+#if defined(__linux__)
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word_),
+            FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+#else
+    // Portable fallback: yield until the word changes.
+    spin_until([&] {
+      return word_.load(std::memory_order_acquire) != expected;
+    });
+#endif
+  }
+
+  void futex_wake_one() {
+#if defined(__linux__)
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word_),
+            FUTEX_WAKE_PRIVATE, 1, nullptr, nullptr, 0);
+#endif
+  }
+
+  alignas(cache_line_size) std::atomic<std::uint32_t> word_{0};
+};
+
+}  // namespace cohort

@@ -1,0 +1,33 @@
+// Thin wrapper over pthread_mutex_t: the paper's "pthread locks" baseline
+// (what memcached and libc malloc use out of the box).
+#pragma once
+
+#include <pthread.h>
+
+#include "cohort/core.hpp"
+
+namespace cohort {
+
+class pthread_lock {
+ public:
+  // Not thread-oblivious: POSIX requires the owning thread to unlock.
+  static constexpr bool is_thread_oblivious = false;
+  using context = empty_context;
+
+  pthread_lock() { pthread_mutex_init(&mutex_, nullptr); }
+  ~pthread_lock() { pthread_mutex_destroy(&mutex_); }
+  pthread_lock(const pthread_lock&) = delete;
+  pthread_lock& operator=(const pthread_lock&) = delete;
+
+  void lock() { pthread_mutex_lock(&mutex_); }
+  bool try_lock() { return pthread_mutex_trylock(&mutex_) == 0; }
+  void unlock() { pthread_mutex_unlock(&mutex_); }
+
+  void lock(context&) { lock(); }
+  void unlock(context&) { unlock(); }
+
+ private:
+  pthread_mutex_t mutex_;
+};
+
+}  // namespace cohort

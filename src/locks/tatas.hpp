@@ -1,0 +1,216 @@
+// Test-and-test-and-set locks with pluggable backoff (the paper's "BO" lock,
+// after Agarwal & Cherian), plus the cohort-detecting local variant used by
+// C-BO-BO / A-C-BO-BO (paper §3.1, §3.6.1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "cohort/core.hpp"
+#include "util/align.hpp"
+#include "util/backoff.hpp"
+#include "util/rng.hpp"
+#include "util/spin.hpp"
+
+namespace cohort {
+
+namespace detail {
+// Per-thread RNG for backoff jitter; streams are decorrelated by address.
+inline xorshift& backoff_rng() {
+  thread_local xorshift rng{
+      0x9e3779b97f4a7c15ULL ^
+      reinterpret_cast<std::uintptr_t>(&rng)};
+  return rng;
+}
+}  // namespace detail
+
+// No-op backoff: the "bare bones" test-and-test-and-set spin the paper uses
+// for the *global* BO lock of a cohort lock (global contention is low by
+// construction, so waiting threads just spin).
+struct null_backoff {
+  struct params {};
+  null_backoff() = default;
+  explicit null_backoff(params) {}
+  void pause(xorshift&) { cpu_relax(); }
+  void reset() {}
+};
+
+// ---- plain TATAS / BO lock -------------------------------------------------
+
+// Thread-oblivious by construction: unlock is a plain store, any thread may
+// perform it.
+template <typename Backoff = exp_backoff>
+class tatas_lock {
+ public:
+  static constexpr bool is_thread_oblivious = true;
+  using backoff_params = typename Backoff::params;
+  using context = empty_context;
+
+  tatas_lock() = default;
+  explicit tatas_lock(backoff_params p) : params_(p) {}
+
+  void lock() {
+    Backoff bo(params_);
+    spin_wait w;
+    for (;;) {
+      if (!locked_.load(std::memory_order_relaxed) &&
+          !locked_.exchange(true, std::memory_order_acquire))
+        return;
+      // Wait until the lock looks free, backing off between attempts.
+      while (locked_.load(std::memory_order_relaxed)) w.spin();
+      bo.pause(detail::backoff_rng());
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  // Bounded-patience acquisition (HBO-style abortable usage and the
+  // abortable cohort global lock).
+  bool try_lock(deadline d) {
+    Backoff bo(params_);
+    spin_wait w;
+    for (;;) {
+      if (!locked_.load(std::memory_order_relaxed) &&
+          !locked_.exchange(true, std::memory_order_acquire))
+        return true;
+      while (locked_.load(std::memory_order_relaxed)) {
+        if (expired(d)) return false;
+        w.spin();
+      }
+      bo.pause(detail::backoff_rng());
+    }
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+  // Context-taking aliases so every lock shares one calling shape.
+  void lock(context&) { lock(); }
+  void unlock(context&) { unlock(); }
+
+  bool is_locked() const {
+    return locked_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(cache_line_size) std::atomic<bool> locked_{false};
+  backoff_params params_{};
+};
+
+using bo_lock = tatas_lock<exp_backoff>;       // the paper's BO
+using fib_bo_lock = tatas_lock<fib_backoff>;   // Table 1/2's Fib-BO
+using tas_spin_lock = tatas_lock<null_backoff>;  // bare-bones global spin
+
+// ---- cohort-detecting local BO lock (C-BO-BO / A-C-BO-BO) ------------------
+
+// The BO lock augmented per paper §3.1:
+//  * the lock word has three states (GLOBAL-RELEASE / BUSY / LOCAL-RELEASE),
+//  * a successor-exists flag implements alone(): waiters set it immediately
+//    before each acquisition attempt and keep re-setting it while spinning;
+//    the winner resets it.  False "no successor" readings merely force an
+//    unnecessary global release (allowed by the alone() spec).
+// The Abortable template parameter adds §3.6.1's behaviour: aborting waiters
+// clear successor-exists, and release_local() double-checks the flag after
+// publishing LOCAL-RELEASE, reverting to GLOBAL-RELEASE when it cannot
+// guarantee a viable successor.
+template <typename Backoff = exp_backoff, bool Abortable = false>
+class cohort_bo_lock {
+ public:
+  using backoff_params = typename Backoff::params;
+  using context = empty_context;
+
+  cohort_bo_lock() = default;
+  explicit cohort_bo_lock(backoff_params p) : params_(p) {}
+
+  release_kind lock(context&) {
+    auto r = try_lock_impl(deadline_never());
+    return *r;  // never nullopt with infinite patience
+  }
+
+  std::optional<release_kind> try_lock(context&, deadline d)
+    requires Abortable
+  {
+    return try_lock_impl(d);
+  }
+
+  bool alone(context&) const {
+    return !successor_exists_.load(std::memory_order_acquire);
+  }
+
+  bool release_local(context&) {
+    state_.store(state_local_release, std::memory_order_release);
+    if constexpr (Abortable) {
+      // §3.6.1: if an aborting waiter cleared successor-exists while we
+      // released, we cannot be sure a viable successor remains.  Try to take
+      // the release back; if the CAS fails somebody already acquired the
+      // lock, so the handoff worked after all.
+      if (!successor_exists_.load(std::memory_order_acquire)) {
+        std::uint8_t expect = state_local_release;
+        if (state_.compare_exchange_strong(expect, state_global_release,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed))
+          return false;  // caller must now release the global lock
+      }
+    }
+    return true;
+  }
+
+  void release_global(context&) {
+    state_.store(state_global_release, std::memory_order_release);
+  }
+
+  bool is_locked() const {
+    return state_.load(std::memory_order_acquire) == state_busy;
+  }
+
+ private:
+  static constexpr std::uint8_t state_global_release = 0;  // initial
+  static constexpr std::uint8_t state_busy = 1;
+  static constexpr std::uint8_t state_local_release = 2;
+
+  std::optional<release_kind> try_lock_impl(deadline d) {
+    Backoff bo(params_);
+    spin_wait w;
+    for (;;) {
+      // Announce ourselves before every acquisition attempt (paper §3.1).
+      successor_exists_.store(true, std::memory_order_release);
+      std::uint8_t s = state_.load(std::memory_order_acquire);
+      if (s != state_busy) {
+        if (state_.compare_exchange_weak(s, state_busy,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          // Winner resets the flag; still-spinning waiters will re-set it.
+          successor_exists_.store(false, std::memory_order_release);
+          return s == state_local_release ? release_kind::local
+                                          : release_kind::global;
+        }
+      }
+      while (state_.load(std::memory_order_relaxed) == state_busy) {
+        if constexpr (Abortable) {
+          if (expired(d)) {
+            // §3.6.1: tell the releaser a waiter has gone away.
+            successor_exists_.store(false, std::memory_order_release);
+            return std::nullopt;
+          }
+        }
+        // Keep the successor flag visible while we wait.
+        if (!successor_exists_.load(std::memory_order_relaxed))
+          successor_exists_.store(true, std::memory_order_release);
+        w.spin();
+      }
+      bo.pause(detail::backoff_rng());
+    }
+  }
+
+  // Both words share one line deliberately: they are only ever touched by
+  // threads of one cluster, where write-sharing is cheap (paper §3.1).
+  alignas(cache_line_size) std::atomic<std::uint8_t> state_{
+      state_global_release};
+  std::atomic<bool> successor_exists_{false};
+  backoff_params params_{};
+};
+
+}  // namespace cohort

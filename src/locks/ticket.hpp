@@ -1,0 +1,111 @@
+// Ticket locks (Mellor-Crummey & Scott) and the cohort-detecting local
+// variant with the top-granted flag used by C-TKT-TKT / C-TKT-MCS (§3.2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "cohort/core.hpp"
+#include "util/align.hpp"
+#include "util/spin.hpp"
+
+namespace cohort {
+
+// ---- plain ticket lock ------------------------------------------------------
+//
+// Thread-oblivious: one thread may increment request, another grant.  FIFO
+// fair, which is why cohort locks built on a global ticket lock measure as
+// fair in Figure 5.
+class ticket_lock {
+ public:
+  static constexpr bool is_thread_oblivious = true;
+  using context = empty_context;
+
+  void lock() {
+    const std::uint32_t me =
+        request_.fetch_add(1, std::memory_order_relaxed);
+    spin_wait w;
+    while (grant_.load(std::memory_order_acquire) != me) w.spin();
+  }
+
+  bool try_lock() {
+    std::uint32_t g = grant_.load(std::memory_order_acquire);
+    std::uint32_t r = g;
+    return request_.compare_exchange_strong(r, g + 1,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed);
+  }
+
+  void unlock() {
+    grant_.store(grant_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_release);
+  }
+
+  void lock(context&) { lock(); }
+  void unlock(context&) { unlock(); }
+
+  bool is_locked() const {
+    return request_.load(std::memory_order_acquire) !=
+           grant_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // Separate lines: arriving threads hammer request_, waiters spin on
+  // grant_.
+  alignas(cache_line_size) std::atomic<std::uint32_t> request_{0};
+  alignas(cache_line_size) std::atomic<std::uint32_t> grant_{0};
+};
+
+// ---- cohort-detecting local ticket lock (§3.2) ------------------------------
+//
+// alone(): more requests than grants+1 means waiters exist (exact, no false
+// negatives: a waiter increments request before it can possibly abort -- and
+// this lock is non-abortable).
+// Local handoff: the releaser sets top-granted, then increments grant; the
+// next owner consumes top-granted and thereby inherits the global lock.
+class cohort_ticket_lock {
+ public:
+  struct context {
+    std::uint32_t ticket = 0;
+  };
+
+  release_kind lock(context& ctx) {
+    ctx.ticket = request_.fetch_add(1, std::memory_order_relaxed);
+    spin_wait w;
+    while (grant_.load(std::memory_order_acquire) != ctx.ticket) w.spin();
+    if (top_granted_.load(std::memory_order_acquire)) {
+      // Consume the grant of the global lock (footnote 3 of the paper).
+      top_granted_.store(false, std::memory_order_relaxed);
+      return release_kind::local;
+    }
+    return release_kind::global;
+  }
+
+  bool alone(context& ctx) const {
+    return request_.load(std::memory_order_acquire) == ctx.ticket + 1;
+  }
+
+  bool release_local(context& ctx) {
+    top_granted_.store(true, std::memory_order_relaxed);
+    grant_.store(ctx.ticket + 1, std::memory_order_release);
+    return true;
+  }
+
+  void release_global(context& ctx) {
+    grant_.store(ctx.ticket + 1, std::memory_order_release);
+  }
+
+  bool is_locked() const {
+    return request_.load(std::memory_order_acquire) !=
+           grant_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(cache_line_size) std::atomic<std::uint32_t> request_{0};
+  alignas(cache_line_size) std::atomic<std::uint32_t> grant_{0};
+  // Read/written only by lock owners (serialised by the ticket protocol);
+  // shares the grant_ line so the handoff is a single-line transfer.
+  std::atomic<bool> top_granted_{false};
+};
+
+}  // namespace cohort

@@ -1,0 +1,145 @@
+#include "numa/topology.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+
+#include <thread>
+#include <utility>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace cohort::numa {
+
+std::vector<int> topology::parse_cpulist(const std::string& s) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    // Skip separators and whitespace.
+    while (i < s.size() && (s[i] == ',' || s[i] == ' ' || s[i] == '\n')) ++i;
+    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+      break;
+    char* end = nullptr;
+    const long lo = std::strtol(s.c_str() + i, &end, 10);
+    i = static_cast<std::size_t>(end - s.c_str());
+    long hi = lo;
+    if (i < s.size() && s[i] == '-') {
+      ++i;
+      hi = std::strtol(s.c_str() + i, &end, 10);
+      i = static_cast<std::size_t>(end - s.c_str());
+    }
+    for (long c = lo; c <= hi; ++c) cpus.push_back(static_cast<int>(c));
+  }
+  return cpus;
+}
+
+topology topology::discover() {
+  topology t;
+  for (unsigned node = 0;; ++node) {
+    std::ifstream f("/sys/devices/system/node/node" + std::to_string(node) +
+                    "/cpulist");
+    if (!f.is_open()) break;
+    std::string line;
+    std::getline(f, line);
+    t.cpus.push_back(parse_cpulist(line));
+  }
+  if (t.cpus.empty()) {
+    // No NUMA information: one cluster with every hardware thread.
+    std::vector<int> all;
+    const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+    for (unsigned c = 0; c < n; ++c) all.push_back(static_cast<int>(c));
+    t.cpus.push_back(std::move(all));
+  }
+  return t;
+}
+
+topology topology::synthetic(unsigned clusters) {
+  topology t;
+  t.cpus.resize(std::max(1u, clusters));
+  return t;
+}
+
+namespace {
+
+// Deliberately NOT a std::mutex: this code runs underneath the
+// pthread_mutex interposition library (src/interpose), where std::mutex
+// would recurse straight back into the interposed pthread_mutex_lock.
+class spin_guard_lock {
+ public:
+  void lock() noexcept {
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+    }
+  }
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+spin_guard_lock g_topology_lock;
+std::atomic<topology*> g_topology{nullptr};
+
+std::atomic<unsigned> g_round_robin{0};
+
+// -1 == unassigned.
+thread_local int tls_cluster = -1;
+
+}  // namespace
+
+const topology& system_topology() {
+  topology* t = g_topology.load(std::memory_order_acquire);
+  if (t != nullptr) return *t;
+  g_topology_lock.lock();
+  t = g_topology.load(std::memory_order_relaxed);
+  if (t == nullptr) {
+    t = new topology(topology::discover());
+    g_topology.store(t, std::memory_order_release);
+  }
+  g_topology_lock.unlock();
+  return *t;
+}
+
+void set_system_topology(topology t) {
+  g_topology_lock.lock();
+  // The old topology is leaked on purpose: other threads may still hold a
+  // reference from system_topology().  Topology swaps are test/startup-time
+  // operations, so the leak is bounded and tiny.
+  g_topology.store(new topology(std::move(t)), std::memory_order_release);
+  g_topology_lock.unlock();
+}
+
+unsigned thread_cluster() {
+  if (tls_cluster < 0) {
+    const unsigned n = system_topology().clusters();
+    tls_cluster = static_cast<int>(
+        g_round_robin.fetch_add(1, std::memory_order_relaxed) % n);
+  }
+  return static_cast<unsigned>(tls_cluster);
+}
+
+void set_thread_cluster(unsigned c) {
+  const unsigned n = system_topology().clusters();
+  tls_cluster = static_cast<int>(c % n);
+}
+
+bool pin_thread_to_cluster(const topology& t, unsigned c) {
+  const unsigned cluster = c % std::max(1u, t.clusters());
+  tls_cluster = static_cast<int>(cluster);
+#if defined(__linux__)
+  if (cluster < t.cpus.size() && !t.cpus[cluster].empty()) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    for (int cpu : t.cpus[cluster]) CPU_SET(cpu, &set);
+    return sched_setaffinity(0, sizeof(set), &set) == 0;
+  }
+#endif
+  return false;
+}
+
+void reset_round_robin_for_test() {
+  g_round_robin.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cohort::numa

@@ -1,0 +1,67 @@
+// NUMA topology discovery and thread-to-cluster assignment.
+//
+// Cohort locks need exactly two things from the platform:
+//   1. the number of NUMA clusters, and
+//   2. a fast "which cluster am I on?" query for the current thread.
+//
+// On a real NUMA Linux box we read /sys/devices/system/node.  On machines
+// without NUMA (or for deterministic tests) a *virtual* topology can be
+// installed: threads are assigned to clusters explicitly or round-robin,
+// which is also how the paper's benchmarks place threads across the T5440's
+// four sockets.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cohort::numa {
+
+struct topology {
+  // cpus[c] lists the logical CPU ids belonging to cluster c.  May be empty
+  // for synthetic topologies (no pinning possible, ids still valid).
+  std::vector<std::vector<int>> cpus;
+
+  unsigned clusters() const noexcept {
+    return static_cast<unsigned>(cpus.size());
+  }
+
+  // Reads /sys/devices/system/node/node*/cpulist.  Falls back to a single
+  // cluster containing all online CPUs when sysfs is absent.
+  static topology discover();
+
+  // A synthetic topology with `clusters` clusters and no CPU lists.
+  static topology synthetic(unsigned clusters);
+
+  // Parses a Linux cpulist string like "0-3,8,10-11".  Exposed for tests.
+  static std::vector<int> parse_cpulist(const std::string& s);
+};
+
+// ---- process-global topology -------------------------------------------
+//
+// The default cohort locks consult this.  It starts as discover() and can be
+// replaced (e.g. with synthetic(4)) before threads start locking.
+
+const topology& system_topology();
+void set_system_topology(topology t);
+
+// ---- per-thread cluster id ----------------------------------------------
+
+// Returns this thread's cluster id.  If the thread never called
+// set_thread_cluster(), it is auto-assigned round-robin on first use, which
+// spreads benchmark threads across clusters the way the paper's runs do.
+unsigned thread_cluster();
+
+// Explicitly place the calling thread on cluster c (mod cluster count).
+void set_thread_cluster(unsigned c);
+
+// Pin the calling thread to the CPUs of cluster c of the given topology and
+// record c as its cluster id.  Returns false when pinning is impossible
+// (synthetic topology or sched_setaffinity failure); the cluster id is
+// recorded either way.
+bool pin_thread_to_cluster(const topology& t, unsigned c);
+
+// Resets the round-robin assignment counter (tests only).
+void reset_round_robin_for_test();
+
+}  // namespace cohort::numa

@@ -1,0 +1,114 @@
+#include "sim/apps/kvsim.hpp"
+
+#include <memory>
+
+#include "sim/locks/registry.hpp"
+#include "sim/memory.hpp"
+
+namespace sim {
+
+namespace {
+
+struct kv_table {
+  std::vector<std::unique_ptr<dataline>> hot;      // LRU head, stats, slab
+  std::vector<std::unique_ptr<dataline>> buckets;
+  std::vector<std::unique_ptr<dataline>> items;
+};
+
+template <typename Lock>
+task<void> kv_worker(thread_ctx& t, Lock& lock, kv_table& tab,
+                     const kv_params& p, tick end_at) {
+  typename Lock::context ctx(*t.eng);
+  const tick measure_from = p.warmup_ns;
+  while (t.eng->now() < end_at) {
+    // Request handling outside the lock.
+    co_await t.eng->delay(p.noncrit_ns / 2 +
+                          t.rng.next_range(p.noncrit_ns) / 2 + 1);
+    const bool is_get = t.rng.next_double() < p.get_ratio;
+    const std::size_t b = t.rng.next_range(tab.buckets.size());
+    const std::size_t it = t.rng.next_range(tab.items.size());
+
+    co_await do_lock(lock, t, ctx);
+    co_await t.eng->delay(p.cs_base_ns / 2);
+    if (is_get) {
+      co_await tab.buckets[b]->read(t);
+      co_await tab.items[it]->read(t);
+      co_await tab.hot[0]->read(t);  // stats
+      if (t.rng.next_double() < p.get_lru_bump_ratio)
+        co_await tab.hot[1]->write(t);  // lazy LRU reposition
+    } else {
+      co_await tab.buckets[b]->read(t);
+      co_await tab.items[it]->write(t);
+      co_await tab.hot[1]->write(t);  // LRU head
+      co_await tab.hot[2]->write(t);  // stats counters
+      co_await tab.hot[3]->write(t);  // slab free list
+    }
+    co_await t.eng->delay(p.cs_base_ns / 2);
+    co_await do_unlock(lock, t, ctx);
+
+    const tick now = t.eng->now();
+    if (now >= measure_from && now < end_at) ++t.ops;
+  }
+}
+
+struct snapshot {
+  std::uint64_t misses = 0;
+};
+
+task<void> kv_monitor(engine& eng, const kv_params& p, snapshot& begin,
+                      snapshot& end) {
+  co_await eng.delay(p.warmup_ns);
+  begin = {eng.memstats.coherence_misses};
+  co_await eng.delay(p.duration_ns);
+  end = {eng.memstats.coherence_misses};
+}
+
+template <typename Lock, typename Factory>
+kv_result run_impl(const kv_params& p, Factory&& make) {
+  engine eng(p.machine);
+  auto lock = make(eng);
+
+  kv_table tab;
+  for (int i = 0; i < 4; ++i)
+    tab.hot.push_back(std::make_unique<dataline>(eng));
+  for (unsigned i = 0; i < p.buckets; ++i)
+    tab.buckets.push_back(std::make_unique<dataline>(eng));
+  for (unsigned i = 0; i < p.items; ++i)
+    tab.items.push_back(std::make_unique<dataline>(eng));
+
+  const tick end_at = p.warmup_ns + p.duration_ns;
+  for (unsigned i = 0; i < p.threads; ++i) {
+    thread_ctx& t = eng.add_thread(i % p.clusters);
+    eng.spawn(kv_worker<Lock>(t, *lock, tab, p, end_at));
+  }
+  snapshot begin{}, end{};
+  eng.spawn(kv_monitor(eng, p, begin, end));
+  eng.run(end_at + 100'000'000);
+
+  kv_result r;
+  for (std::size_t i = 0; i < eng.threads(); ++i)
+    r.total_ops += eng.thread(i).ops;
+  r.ops_per_sec =
+      static_cast<double>(r.total_ops) / (static_cast<double>(p.duration_ns) * 1e-9);
+  if (r.total_ops > 0)
+    r.l2_misses_per_op = static_cast<double>(end.misses - begin.misses) /
+                         static_cast<double>(r.total_ops);
+  return r;
+}
+
+}  // namespace
+
+kv_result run_kv(const std::string& lock_name, const kv_params& p) {
+  kv_result result;
+  result.ops_per_sec = -1;
+  lock_params lp{p.clusters, p.pass_limit};
+  const bool known = with_lock_type(lock_name, lp, [&](auto factory) {
+    using lock_t =
+        typename decltype(factory(std::declval<engine&>()))::element_type;
+    result = run_impl<lock_t>(p, factory);
+  });
+  if (!known) result.ops_per_sec = -1;
+  return result;
+}
+
+}  // namespace sim

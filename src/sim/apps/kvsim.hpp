@@ -1,0 +1,48 @@
+// Simulated memcached (Table 1 substitute; see DESIGN.md §2).
+//
+// memcached 1.4 guards its entire hash table + LRU with one pthread mutex
+// (the "cache lock").  The model reproduces the structure that matters for
+// lock comparison:
+//   * every operation does fixed non-critical work (request parsing etc.),
+//   * gets execute a read-mostly critical section (hash bucket + item +
+//     stats reads; occasional lazy LRU bump) -- reads leave lines Shared in
+//     every cluster, so gets barely care which lock is used;
+//   * sets write the item, the LRU head, the stats and the slab free-list
+//     lines -- writes invalidate, so under write-heavy mixes the lock's
+//     locality decides throughput (Table 1c's >= 20% NUMA-aware win).
+// Speedups are reported relative to pthread at 1 thread, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace sim {
+
+struct kv_params {
+  unsigned threads = 8;
+  unsigned clusters = 4;
+  double get_ratio = 0.9;        // 0.9 / 0.5 / 0.1 for Table 1 a/b/c
+  tick warmup_ns = 400'000;
+  tick duration_ns = 8'000'000;
+  tick noncrit_ns = 8'000;       // request parsing / network handling
+  tick cs_base_ns = 2'200;       // hash+LRU compute under the lock
+  double get_lru_bump_ratio = 0.1;  // fraction of gets that write the LRU
+  unsigned buckets = 64;         // modelled bucket lines
+  unsigned items = 64;           // modelled item lines
+  std::uint64_t pass_limit = 64;
+  config machine{};
+};
+
+struct kv_result {
+  double ops_per_sec = 0;
+  double l2_misses_per_op = 0;
+  std::uint64_t total_ops = 0;
+};
+
+// Runs the key-value workload under the named lock (registry.hpp names,
+// Table 1 set).  Unknown name => ops_per_sec < 0.
+kv_result run_kv(const std::string& lock_name, const kv_params& p);
+
+}  // namespace sim

@@ -1,0 +1,153 @@
+#include "sim/apps/lbench.hpp"
+
+#include <memory>
+
+#include "sim/locks/registry.hpp"
+#include "sim/memory.hpp"
+#include "util/stats.hpp"
+
+namespace sim {
+
+namespace {
+
+// Shared state the workload tracks across threads.  Fields mutated inside
+// the critical section are protected by the benchmarked lock itself.
+struct shared_state {
+  std::vector<std::unique_ptr<dataline>> cs_data;
+  unsigned last_cluster = ~0u;
+  std::uint64_t migrations = 0;
+  std::uint64_t cs_count = 0;  // all CS executions, warmup included
+};
+
+struct window_snapshot {
+  std::uint64_t misses = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t cs = 0;
+};
+
+template <typename Lock, bool Abortable>
+task<void> worker(thread_ctx& t, Lock& lock, shared_state& st,
+                  const lbench_params& p, tick end_at) {
+  typename Lock::context ctx(*t.eng);
+  const tick measure_from = p.warmup_ns;
+  while (t.eng->now() < end_at) {
+    bool acquired = true;
+    if constexpr (Abortable) {
+      acquired = co_await do_try_lock(lock, t, ctx,
+                                      t.eng->now() + p.patience_ns);
+    } else {
+      co_await do_lock(lock, t, ctx);
+    }
+    if (acquired) {
+      // ---- critical section ------------------------------------------
+      if (st.last_cluster != t.cluster) {
+        st.last_cluster = t.cluster;
+        if (t.eng->now() >= measure_from) ++st.migrations;
+      }
+      for (auto& line : st.cs_data)
+        for (unsigned w = 0; w < p.writes_per_line; ++w)
+          co_await line->write(t);
+      ++st.cs_count;
+      // ------------------------------------------------------------------
+      co_await do_unlock(lock, t, ctx);
+      const tick now = t.eng->now();
+      if (now >= measure_from && now < end_at) ++t.ops;
+    } else {
+      ++t.aborts;
+    }
+    // Non-critical work: idle spin of up to ~4 us (uniform jitter).
+    co_await t.eng->delay(p.ncs_ns / 2 + t.rng.next_range(p.ncs_ns / 2) + 1);
+  }
+}
+
+task<void> monitor(engine& eng, shared_state& st, const lbench_params& p,
+                   window_snapshot& begin, window_snapshot& end) {
+  co_await eng.delay(p.warmup_ns);
+  begin = {eng.memstats.coherence_misses, st.migrations, st.cs_count};
+  co_await eng.delay(p.duration_ns);
+  end = {eng.memstats.coherence_misses, st.migrations, st.cs_count};
+}
+
+template <typename Lock, bool Abortable, typename Factory>
+lbench_result run_impl(const lbench_params& p, Factory&& make) {
+  engine eng(p.machine);
+  auto lock = make(eng);
+
+  shared_state st;
+  for (unsigned i = 0; i < p.cs_lines; ++i)
+    st.cs_data.push_back(std::make_unique<dataline>(eng));
+
+  const tick end_at = p.warmup_ns + p.duration_ns;
+  for (unsigned i = 0; i < p.threads; ++i) {
+    thread_ctx& t = eng.add_thread(i % p.clusters);
+    eng.spawn(worker<Lock, Abortable>(t, *lock, st, p, end_at));
+  }
+  window_snapshot begin{}, end{};
+  eng.spawn(monitor(eng, st, p, begin, end));
+
+  // Safety net: starvation-prone locks (HBO) may leave waiters in backoff
+  // well past the end of the run.
+  eng.run(end_at + 200 * p.ncs_ns + 50'000'000);
+
+  lbench_result r;
+  std::vector<double> per_thread;
+  std::uint64_t aborts = 0;
+  for (std::size_t i = 0; i < eng.threads(); ++i) {
+    const auto& t = eng.thread(i);
+    r.total_ops += t.ops;
+    aborts += t.aborts;
+    r.per_thread_ops.push_back(t.ops);
+    per_thread.push_back(static_cast<double>(t.ops));
+  }
+  const double secs = static_cast<double>(p.duration_ns) * 1e-9;
+  r.throughput_per_sec = static_cast<double>(r.total_ops) / secs;
+  const std::uint64_t window_cs = end.cs - begin.cs;
+  if (window_cs > 0) {
+    r.l2_misses_per_cs = static_cast<double>(end.misses - begin.misses) /
+                         static_cast<double>(window_cs);
+    r.migrations_per_cs =
+        static_cast<double>(end.migrations - begin.migrations) /
+        static_cast<double>(window_cs);
+  }
+  const auto s = cohort::summarize(per_thread);
+  r.stddev_pct = s.stddev_pct();
+  const std::uint64_t attempts = r.total_ops + aborts;
+  r.abort_rate =
+      attempts == 0 ? 0.0
+                    : static_cast<double>(aborts) / static_cast<double>(attempts);
+  r.avg_batch = avg_batch_of(*lock);
+  return r;
+}
+
+}  // namespace
+
+lbench_result run_lbench(const std::string& lock_name,
+                         const lbench_params& p) {
+  lbench_result result;
+  result.throughput_per_sec = -1;
+  lock_params lp{p.clusters, p.pass_limit};
+  const bool known = with_lock_type(lock_name, lp, [&](auto factory) {
+    using lock_t =
+        typename decltype(factory(std::declval<engine&>()))::element_type;
+    result = run_impl<lock_t, false>(p, factory);
+  });
+  if (!known) result.throughput_per_sec = -1;
+  return result;
+}
+
+lbench_result run_lbench_abortable(const std::string& lock_name,
+                                   const lbench_params& p) {
+  lbench_result result;
+  result.throughput_per_sec = -1;
+  lock_params lp{p.clusters, p.pass_limit};
+  const bool known =
+      with_abortable_lock_type(lock_name, lp, [&](auto factory) {
+        using lock_t =
+            typename decltype(factory(std::declval<engine&>()))::element_type;
+        result = run_impl<lock_t, true>(p, factory);
+      });
+  if (!known) result.throughput_per_sec = -1;
+  return result;
+}
+
+}  // namespace sim

@@ -1,0 +1,53 @@
+// LBench: the paper's microbenchmark (§4.1), run on the simulated machine.
+//
+// Each thread loops: acquire the central lock, write 4 counters on each of 2
+// distinct cache blocks, release, then spin idly for ~4 us.  The harness
+// reports the quantities behind Figures 2-6: aggregate throughput, L2
+// coherence misses per critical section, per-thread throughput deviation,
+// lock migrations, and (for the abortable runs) the abort rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace sim {
+
+struct lbench_params {
+  unsigned threads = 4;
+  unsigned clusters = 4;
+  tick warmup_ns = 200'000;
+  tick duration_ns = 3'000'000;   // measured window of virtual time
+  tick ncs_ns = 4'000;            // non-critical idle spin (paper: ~4 us)
+  unsigned cs_lines = 2;          // distinct cache blocks in the CS
+  unsigned writes_per_line = 4;   // counter increments per block
+  std::uint64_t pass_limit = 64;  // cohort may-pass-local bound
+  tick patience_ns = 400'000;     // abortable runs: patience before abort
+  config machine{};
+};
+
+struct lbench_result {
+  double throughput_per_sec = 0;   // critical+non-critical pairs per second
+  double l2_misses_per_cs = 0;     // Figure 3's metric
+  double stddev_pct = 0;           // Figure 5's metric
+  double migrations_per_cs = 0;    // cross-cluster lock handoffs per CS
+  double abort_rate = 0;           // aborts / attempts (abortable runs)
+  double avg_batch = 0;            // cohort locks: acquisitions per global
+  std::uint64_t total_ops = 0;
+  std::vector<std::uint64_t> per_thread_ops;
+};
+
+// Runs LBench under the named lock (registry.hpp names).  Aborts on unknown
+// names are reported by returning total_ops == 0 and throughput == -1.
+lbench_result run_lbench(const std::string& lock_name,
+                         const lbench_params& p);
+
+// Abortable variant (Figure 6): acquisition uses try_lock with patience;
+// timed-out attempts count as aborts and are retried after the non-critical
+// work.
+lbench_result run_lbench_abortable(const std::string& lock_name,
+                                   const lbench_params& p);
+
+}  // namespace sim

@@ -1,0 +1,127 @@
+#include "sim/apps/mallocsim.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "sim/locks/registry.hpp"
+#include "sim/memory.hpp"
+
+namespace sim {
+
+namespace {
+
+// Shared allocator state; mutated only inside the benchmarked lock's
+// critical section.
+struct arena_state {
+  std::unique_ptr<dataline> root;                       // splay-tree root
+  std::vector<std::unique_ptr<dataline>> path;          // hot splay path
+  std::vector<std::unique_ptr<dataline>> block_header;  // per-block header
+  std::vector<std::unique_ptr<dataline>> block_data;    // per-block payload
+  std::vector<std::uint32_t> free_stack;                // LIFO recycling
+};
+
+template <typename Lock>
+task<void> malloc_worker(thread_ctx& t, Lock& lock, arena_state& st,
+                         const malloc_params& p, tick end_at) {
+  typename Lock::context ctx(*t.eng);
+  const tick measure_from = p.warmup_ns;
+  while (t.eng->now() < end_at) {
+    // ---- malloc ---------------------------------------------------------
+    co_await do_lock(lock, t, ctx);
+    co_await t.eng->delay(p.cs_base_ns);
+    co_await st.root->write(t);  // delete from the tree root
+    for (unsigned i = 0; i < p.path_nodes; ++i)
+      co_await st.path[i]->write(t);
+    std::uint32_t blk = 0;
+    if (!st.free_stack.empty()) {
+      blk = st.free_stack.back();
+      st.free_stack.pop_back();
+    }
+    co_await st.block_header[blk]->write(t);
+    co_await do_unlock(lock, t, ctx);
+
+    // Application initialises the block (first 4 words) outside the lock.
+    co_await st.block_data[blk]->write(t);
+    co_await t.eng->delay(p.delay_ns / 2 + t.rng.next_range(p.delay_ns) + 1);
+
+    // ---- free -----------------------------------------------------------
+    co_await do_lock(lock, t, ctx);
+    co_await t.eng->delay(p.cs_base_ns);
+    co_await st.root->write(t);  // freed node splays to the root
+    for (unsigned i = 0; i < p.path_nodes; ++i)
+      co_await st.path[i]->write(t);
+    co_await st.block_header[blk]->write(t);
+    st.free_stack.push_back(blk);
+    co_await do_unlock(lock, t, ctx);
+
+    co_await t.eng->delay(p.delay_ns / 2 + t.rng.next_range(p.delay_ns) + 1);
+
+    const tick now = t.eng->now();
+    if (now >= measure_from && now < end_at) ++t.ops;
+  }
+}
+
+struct snapshot {
+  std::uint64_t misses = 0;
+};
+
+task<void> malloc_monitor(engine& eng, const malloc_params& p,
+                          snapshot& begin, snapshot& end) {
+  co_await eng.delay(p.warmup_ns);
+  begin = {eng.memstats.coherence_misses};
+  co_await eng.delay(p.duration_ns);
+  end = {eng.memstats.coherence_misses};
+}
+
+template <typename Lock, typename Factory>
+malloc_result run_impl(const malloc_params& p, Factory&& make) {
+  engine eng(p.machine);
+  auto lock = make(eng);
+
+  arena_state st;
+  st.root = std::make_unique<dataline>(eng);
+  for (unsigned i = 0; i < p.path_nodes; ++i)
+    st.path.push_back(std::make_unique<dataline>(eng));
+  for (unsigned i = 0; i < p.live_blocks; ++i) {
+    st.block_header.push_back(std::make_unique<dataline>(eng));
+    st.block_data.push_back(std::make_unique<dataline>(eng));
+    st.free_stack.push_back(p.live_blocks - 1 - i);
+  }
+
+  const tick end_at = p.warmup_ns + p.duration_ns;
+  for (unsigned i = 0; i < p.threads; ++i) {
+    thread_ctx& t = eng.add_thread(i % p.clusters);
+    eng.spawn(malloc_worker<Lock>(t, *lock, st, p, end_at));
+  }
+  snapshot begin{}, end{};
+  eng.spawn(malloc_monitor(eng, p, begin, end));
+  eng.run(end_at + 100'000'000);
+
+  malloc_result r;
+  for (std::size_t i = 0; i < eng.threads(); ++i)
+    r.total_pairs += eng.thread(i).ops;
+  r.pairs_per_ms =
+      static_cast<double>(r.total_pairs) / (static_cast<double>(p.duration_ns) * 1e-6);
+  if (r.total_pairs > 0)
+    r.l2_misses_per_pair = static_cast<double>(end.misses - begin.misses) /
+                           static_cast<double>(r.total_pairs);
+  return r;
+}
+
+}  // namespace
+
+malloc_result run_malloc(const std::string& lock_name,
+                         const malloc_params& p) {
+  malloc_result result;
+  result.pairs_per_ms = -1;
+  lock_params lp{p.clusters, p.pass_limit};
+  const bool known = with_lock_type(lock_name, lp, [&](auto factory) {
+    using lock_t =
+        typename decltype(factory(std::declval<engine&>()))::element_type;
+    result = run_impl<lock_t>(p, factory);
+  });
+  if (!known) result.pairs_per_ms = -1;
+  return result;
+}
+
+}  // namespace sim

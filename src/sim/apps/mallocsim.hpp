@@ -1,0 +1,47 @@
+// Simulated libc-malloc stress test (Table 2 substitute; see DESIGN.md §2).
+//
+// The Solaris default allocator serialises malloc/free with one lock over a
+// splay tree of free blocks; a freed block is splayed to the root, so the
+// most recently freed block is handed out first (LIFO recycling).  The
+// benchmark (mmicro) has each thread repeatedly allocate a 64-byte block,
+// write its first words, free it, with an artificial delay after each call.
+//
+// The model keeps exactly the traffic that differentiates locks:
+//   * the critical sections write the tree root line, a few splay-path node
+//     lines and the block header;
+//   * the application writes the block's data line *outside* the lock;
+//   * LIFO recycling means that under a cohort lock blocks circulate within
+//     the cluster that currently owns the lock, so header/data lines stay
+//     local -- the mechanism behind Table 2's ~6x vs ~2x split.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace sim {
+
+struct malloc_params {
+  unsigned threads = 8;
+  unsigned clusters = 4;
+  tick warmup_ns = 400'000;
+  tick duration_ns = 8'000'000;
+  tick delay_ns = 2'000;       // after each of malloc and free (~4 us total)
+  tick cs_base_ns = 220;       // tree manipulation compute per call
+  unsigned path_nodes = 3;     // splay-path lines written per tree operation
+  unsigned live_blocks = 256;  // block pool (free stack depth)
+  std::uint64_t pass_limit = 64;
+  config machine{};
+};
+
+struct malloc_result {
+  double pairs_per_ms = 0;  // Table 2's metric: malloc-free pairs per ms
+  double l2_misses_per_pair = 0;
+  std::uint64_t total_pairs = 0;
+};
+
+malloc_result run_malloc(const std::string& lock_name,
+                         const malloc_params& p);
+
+}  // namespace sim

@@ -1,0 +1,77 @@
+#include "sim/engine.hpp"
+
+#include "sim/memory.hpp"
+
+namespace sim {
+
+engine::engine(config cfg) : cfg_(cfg) {}
+
+engine::~engine() {
+  // Drop pending events first; destroying tasks tears down coroutine frames
+  // (and, transitively, nested frames), so no handle may be touched after.
+  while (!queue_.empty()) queue_.pop();
+  tasks_.clear();
+}
+
+thread_ctx& engine::add_thread(unsigned cluster) {
+  thread_ctx& t = threads_.emplace_back();
+  t.id = static_cast<unsigned>(threads_.size() - 1);
+  t.cluster = cluster % cfg_.clusters;
+  t.eng = this;
+  // Independent, reproducible stream per thread.
+  t.rng = cohort::xorshift{0xc0401e5ULL * (t.id + 1) + 0x9e3779b97f4a7c15ULL};
+  return t;
+}
+
+void engine::spawn(task<void> t) {
+  schedule_resume(now_, t.handle());
+  tasks_.push_back(std::move(t));
+}
+
+void engine::run(tick hard_stop) {
+  while (!queue_.empty()) {
+    const event e = queue_.top();
+    if (e.at > hard_stop) break;
+    queue_.pop();
+    now_ = e.at;
+    if (e.thread != nullptr) {
+      dispatch_thread_event(e);
+    } else {
+      e.resume.resume();
+    }
+  }
+}
+
+void engine::schedule_resume(tick at, std::coroutine_handle<> h) {
+  queue_.push(event{at, seq_++, h, nullptr, 0, thread_event_kind::wake});
+}
+
+void engine::schedule_thread_event(tick at, thread_ctx* t, std::uint64_t epoch,
+                                   thread_event_kind kind) {
+  queue_.push(event{at, seq_++, nullptr, t, epoch, kind});
+}
+
+void engine::dispatch_thread_event(const event& e) {
+  thread_ctx* t = e.thread;
+  // Stale wake or timeout (the wait it targeted already ended).
+  if (t->wait_epoch != e.epoch || t->current_wait == nullptr) return;
+  auto* w = static_cast<atom::wait_awaiter*>(t->current_wait);
+  t->current_wait = nullptr;
+  ++t->wait_epoch;
+  w->timed_out = (e.kind == thread_event_kind::timeout);
+  w->handle.resume();
+}
+
+tick engine::interconnect_transfer_n(tick at, unsigned n) {
+  if (n == 0) n = 1;
+  const tick start = at > ic_busy_until_ ? at : ic_busy_until_;
+  const tick occupancy = cfg_.interconnect_service * n;
+  ic_busy_until_ = start + occupancy;
+  ic_total_busy_ += occupancy;
+  // Latency = queueing (start - at) + wire time; the service occupancy
+  // models channel capacity, not per-transfer latency, so an uncontended
+  // remote access costs just remote_wire.
+  return start + cfg_.remote_wire;
+}
+
+}  // namespace sim

@@ -1,0 +1,156 @@
+// Discrete-event engine simulating a CC-NUMA machine.
+//
+// The simulator substitutes for the paper's Oracle T5440 testbed (see
+// DESIGN.md §2): simulated hardware threads are coroutines; time is virtual;
+// every cache/coherence interaction is an engine event.  Runs are fully
+// deterministic: events at equal timestamps fire in insertion order, and all
+// randomness comes from seeded per-thread PRNGs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "util/rng.hpp"
+
+namespace sim {
+
+using tick = std::uint64_t;  // virtual nanoseconds
+inline constexpr tick tick_max = std::numeric_limits<tick>::max();
+
+// Latency/contention parameters of the simulated machine.  Defaults model a
+// T5440-like box: 4 clusters, remote L2 transfers roughly 4-5x the cost of a
+// local L2 hit plus a shared interconnect that queues under load.
+struct config {
+  unsigned clusters = 4;
+
+  // Light-load remote/local ratio is ~4x, matching the paper's measurement;
+  // interconnect_service is channel *occupancy* (capacity = 1/service), so
+  // under heavy cross-chip traffic remote latency degrades via queueing.
+  tick local_hit = 15;        // L2 hit / same-cluster transfer (ns)
+  tick remote_wire = 120;     // uncontended remote-transfer latency (ns)
+  tick interconnect_service = 50;   // channel occupancy per remote transfer
+  tick cold_miss = 120;       // first-touch fetch from memory
+  tick line_occupancy = 20;   // line serialisation for remotely-served accesses
+
+  // Blocking (pthread-style) lock costs.
+  tick park_cost = 1500;      // syscall + context switch to sleep
+  tick unpark_cost = 800;     // releaser-side cost of waking a sleeper
+  tick wakeup_latency = 2500; // parked thread's sleep-to-running latency
+};
+
+class engine;
+
+// One simulated hardware thread.  Owned by the engine (stable address).
+struct thread_ctx {
+  unsigned id = 0;
+  unsigned cluster = 0;
+  engine* eng = nullptr;
+  cohort::xorshift rng{1};
+
+  // Workload-maintained counters.
+  std::uint64_t ops = 0;
+  std::uint64_t aborts = 0;
+
+  // Waiter bookkeeping (see memory.hpp).  A thread has at most one
+  // outstanding wait; epoch guards stale wake/timeout events.
+  std::uint64_t wait_epoch = 0;
+  void* current_wait = nullptr;
+  bool wake_pending = false;
+};
+
+class engine {
+ public:
+  explicit engine(config cfg);
+  ~engine();
+  engine(const engine&) = delete;
+  engine& operator=(const engine&) = delete;
+
+  const config& cfg() const noexcept { return cfg_; }
+  tick now() const noexcept { return now_; }
+
+  thread_ctx& add_thread(unsigned cluster);
+  std::size_t threads() const noexcept { return threads_.size(); }
+  thread_ctx& thread(std::size_t i) { return threads_[i]; }
+
+  // Registers a top-level coroutine and schedules its start at now().
+  void spawn(task<void> t);
+
+  // Runs until the event queue drains or virtual time exceeds hard_stop
+  // (safety net for starvation-prone locks such as HBO).
+  void run(tick hard_stop = tick_max);
+
+  // ---- scheduling primitives (used by awaitables and memory model) -------
+
+  void schedule_resume(tick at, std::coroutine_handle<> h);
+
+  // Thread-targeted events, guarded by the thread's wait_epoch at creation
+  // time; stale events are dropped.  kind is interpreted by the memory
+  // system (wake vs timeout).
+  enum class thread_event_kind : std::uint8_t { wake, timeout };
+  void schedule_thread_event(tick at, thread_ctx* t, std::uint64_t epoch,
+                             thread_event_kind kind);
+
+  struct delay_awaiter {
+    engine* eng;
+    tick d;
+    bool await_ready() const noexcept { return d == 0; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      eng->schedule_resume(eng->now_ + d, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  delay_awaiter delay(tick d) { return {this, d}; }
+
+  // Interconnect: a FIFO channel every remote transfer occupies for
+  // interconnect_service ns.  Returns the transfer's completion time for a
+  // request issued at `at`.
+  tick interconnect_transfer(tick at) { return interconnect_transfer_n(at, 1); }
+
+  // n back-to-back channel transactions (e.g. invalidations fanning out to n
+  // remote clusters); completion is when the last one lands.
+  tick interconnect_transfer_n(tick at, unsigned n);
+  tick interconnect_busy_time() const noexcept { return ic_total_busy_; }
+
+  // Memory-system counters (updated by line_access in memory.cpp).
+  struct mem_stats {
+    std::uint64_t accesses = 0;
+    std::uint64_t coherence_misses = 0;  // served from a remote cluster
+    std::uint64_t cold_misses = 0;
+  };
+  mem_stats memstats;
+
+ private:
+  friend class memory_system;
+
+  struct event {
+    tick at;
+    std::uint64_t seq;  // insertion order breaks ties -> determinism
+    std::coroutine_handle<> resume;  // null for thread events
+    thread_ctx* thread = nullptr;
+    std::uint64_t epoch = 0;
+    thread_event_kind kind = thread_event_kind::wake;
+  };
+  struct event_later {
+    bool operator()(const event& a, const event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  void dispatch_thread_event(const event& e);
+
+  config cfg_;
+  tick now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<event, std::vector<event>, event_later> queue_;
+  std::deque<thread_ctx> threads_;
+  std::vector<task<void>> tasks_;
+
+  tick ic_busy_until_ = 0;
+  tick ic_total_busy_ = 0;
+};
+
+}  // namespace sim

@@ -1,0 +1,193 @@
+// Simulated CLH family: classic CLH, Scott's abortable A-CLH (the Figure 6
+// baseline) and the cohort-detecting abortable local lock of A-C-BO-CLH.
+// Mirrors src/locks/clh.hpp; see there for the protocol discussion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/locks/locks.hpp"
+
+namespace sim {
+
+namespace clh_sim_detail {
+inline constexpr std::uint64_t tag_busy = 1, tag_local = 2, tag_global = 3;
+inline constexpr std::uint64_t flag_sa = 4;  // successor aborted
+inline constexpr std::uint64_t tag_mask = 7;
+inline bool is_pointer(std::uint64_t w) { return (w & tag_mask) == 0; }
+}  // namespace clh_sim_detail
+
+struct s_clh_node {
+  atom word;
+  explicit s_clh_node(engine& eng) : word(eng, 0) {}
+};
+
+// Shared node plumbing for the CLH variants.  Node pool manipulation is
+// thread-local and cheap in the real locks, so only node-line traffic is
+// modelled.
+class s_clh_base {
+ public:
+  struct context {
+    explicit context(engine&) {}
+    s_clh_node* mine = nullptr;
+    s_clh_node* taken_pred = nullptr;
+  };
+
+ protected:
+  explicit s_clh_base(engine& eng, std::uint64_t dummy_word)
+      : eng_(&eng), tail_(eng, 0) {
+    s_clh_node* dummy = alloc();
+    dummy->word.poke(dummy_word);
+    tail_.poke(reinterpret_cast<std::uintptr_t>(dummy));
+  }
+
+  s_clh_node* alloc() {
+    if (!free_.empty()) {
+      s_clh_node* n = free_.back();
+      free_.pop_back();
+      return n;
+    }
+    owned_.push_back(std::make_unique<s_clh_node>(*eng_));
+    return owned_.back().get();
+  }
+  void reclaim(s_clh_node* n) { free_.push_back(n); }
+
+  static void recycle(context& ctx) {
+    ctx.mine = ctx.taken_pred;
+    ctx.taken_pred = nullptr;
+  }
+
+  engine* eng_;
+  atom tail_;
+
+ private:
+  std::vector<std::unique_ptr<s_clh_node>> owned_;
+  std::vector<s_clh_node*> free_;
+};
+
+// Scott's abortable CLH lock (PODC'02): the A-CLH baseline of Figure 6.
+class s_aclh_lock : public s_clh_base {
+ public:
+  explicit s_aclh_lock(engine& eng)
+      : s_clh_base(eng, clh_sim_detail::tag_global) {}
+
+  // Returns false on timeout.
+  task<bool> try_lock(thread_ctx& t, context& ctx, tick deadline_at) {
+    using namespace clh_sim_detail;
+    if (ctx.mine == nullptr) ctx.mine = alloc();
+    s_clh_node* me = ctx.mine;
+    co_await me->word.store(t, tag_busy);
+    std::uint64_t predw =
+        co_await tail_.exchange(t, reinterpret_cast<std::uintptr_t>(me));
+    auto* pred = reinterpret_cast<s_clh_node*>(predw);
+    for (;;) {
+      const std::uint64_t pw = co_await pred->word.load(t);
+      if (pw == tag_global || pw == tag_local) {
+        ctx.taken_pred = pred;
+        co_return true;
+      }
+      if (is_pointer(pw)) {
+        auto* next_pred = reinterpret_cast<s_clh_node*>(pw);
+        reclaim(pred);
+        pred = next_pred;
+        continue;
+      }
+      if (t.eng->now() >= deadline_at) {
+        co_await me->word.store(t, reinterpret_cast<std::uintptr_t>(pred));
+        ctx.mine = nullptr;  // node stays in the queue for the successor
+        co_return false;
+      }
+      co_await pred->word.wait_until_for(
+          t, [](std::uint64_t v, std::uint64_t old) { return v != old; }, pw,
+          deadline_at);
+    }
+  }
+
+  task<void> lock(thread_ctx& t, context& ctx) {
+    co_await try_lock(t, ctx, tick_max);
+  }
+
+  task<void> unlock(thread_ctx& t, context& ctx) {
+    co_await ctx.mine->word.store(t, clh_sim_detail::tag_global);
+    recycle(ctx);
+  }
+};
+
+// Abortable cohort-detecting local CLH lock (§3.6.2).
+class s_cohort_aclh_lock : public s_clh_base {
+ public:
+  explicit s_cohort_aclh_lock(engine& eng)
+      : s_clh_base(eng, clh_sim_detail::tag_global) {}
+
+  task<std::optional<release_kind>> try_lock(thread_ctx& t, context& ctx,
+                                             tick deadline_at) {
+    using namespace clh_sim_detail;
+    if (ctx.mine == nullptr) ctx.mine = alloc();
+    s_clh_node* me = ctx.mine;
+    co_await me->word.store(t, tag_busy);
+    std::uint64_t predw =
+        co_await tail_.exchange(t, reinterpret_cast<std::uintptr_t>(me));
+    auto* pred = reinterpret_cast<s_clh_node*>(predw);
+    for (;;) {
+      std::uint64_t pw = co_await pred->word.load(t);
+      if (pw == tag_local || pw == tag_global) {
+        ctx.taken_pred = pred;
+        co_return pw == tag_local ? release_kind::local
+                                  : release_kind::global;
+      }
+      if (is_pointer(pw)) {
+        auto* next_pred = reinterpret_cast<s_clh_node*>(pw);
+        reclaim(pred);
+        pred = next_pred;
+        continue;
+      }
+      if (t.eng->now() >= deadline_at) {
+        // Abort step 1: set the spin target's successor-aborted flag; the
+        // CAS linearises against the target's release CAS.
+        auto r = co_await pred->word.cas(t, pw, pw | flag_sa);
+        if (r.ok) {
+          co_await me->word.store(t, reinterpret_cast<std::uintptr_t>(pred));
+          ctx.mine = nullptr;
+          co_return std::nullopt;
+        }
+        continue;  // word changed: we may have been granted the lock
+      }
+      co_await pred->word.wait_until_for(
+          t, [](std::uint64_t v, std::uint64_t old) { return v != old; }, pw,
+          deadline_at);
+    }
+  }
+
+  task<release_kind> lock(thread_ctx& t, context& ctx) {
+    auto r = co_await try_lock(t, ctx, tick_max);
+    co_return *r;
+  }
+
+  task<bool> alone(thread_ctx& t, context& ctx) {
+    const std::uint64_t tl = co_await tail_.load(t);
+    co_return tl == reinterpret_cast<std::uintptr_t>(ctx.mine);
+  }
+
+  task<bool> release_local(thread_ctx& t, context& ctx) {
+    using namespace clh_sim_detail;
+    auto r = co_await ctx.mine->word.cas(t, tag_busy, tag_local);
+    if (r.ok) {
+      recycle(ctx);
+      co_return true;
+    }
+    // Successor-aborted was set: release in GLOBAL-RELEASE state instead;
+    // caller must release the global lock.
+    co_await ctx.mine->word.store(t, tag_global);
+    recycle(ctx);
+    co_return false;
+  }
+
+  task<void> release_global(thread_ctx& t, context& ctx) {
+    co_await ctx.mine->word.store(t, clh_sim_detail::tag_global);
+    recycle(ctx);
+  }
+};
+
+}  // namespace sim

@@ -1,0 +1,193 @@
+// Simulated lock-cohorting transformation (mirrors cohort/cohort_lock.hpp
+// and cohort/abortable.hpp) plus the named instantiations used by the
+// benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/locks/blocking.hpp"
+#include "sim/locks/clh.hpp"
+#include "sim/locks/locks.hpp"
+
+namespace sim {
+
+struct s_cohort_stats {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t global_acquires = 0;
+  std::uint64_t local_handoffs = 0;
+  std::uint64_t handoff_failures = 0;
+};
+
+template <typename G, typename L>
+class s_cohort_lock {
+ public:
+  struct context {
+    typename L::context local;
+    unsigned cluster = 0;
+    release_kind acquired{};
+    explicit context(engine& eng) : local(eng) {}
+  };
+
+  s_cohort_lock(engine& eng, unsigned clusters, std::uint64_t pass_limit = 64)
+      : pass_limit_(pass_limit), global_(eng) {
+    for (unsigned c = 0; c < clusters; ++c)
+      locals_.push_back(std::make_unique<slot>(eng));
+  }
+
+  task<void> lock(thread_ctx& t, context& ctx) {
+    ctx.cluster = t.cluster % locals_.size();
+    slot& s = *locals_[ctx.cluster];
+    ctx.acquired = co_await s.lock.lock(t, ctx.local);
+    if (ctx.acquired == release_kind::global) {
+      co_await global_.lock(t);
+      s.batch = 0;
+      ++s.stats.global_acquires;
+    }
+    ++s.stats.acquisitions;
+  }
+
+  task<void> unlock(thread_ctx& t, context& ctx) {
+    slot& s = *locals_[ctx.cluster];
+    if (s.batch < pass_limit_) {
+      const bool alone = co_await s.lock.alone(t, ctx.local);
+      if (!alone) {
+        ++s.batch;
+        if (co_await s.lock.release_local(t, ctx.local)) {
+          ++s.stats.local_handoffs;
+          co_return;
+        }
+        ++s.stats.handoff_failures;
+        co_await global_.unlock(t);
+        co_return;
+      }
+    }
+    co_await global_.unlock(t);
+    co_await s.lock.release_global(t, ctx.local);
+  }
+
+  s_cohort_stats stats() const {
+    s_cohort_stats total;
+    for (const auto& s : locals_) {
+      total.acquisitions += s->stats.acquisitions;
+      total.global_acquires += s->stats.global_acquires;
+      total.local_handoffs += s->stats.local_handoffs;
+      total.handoff_failures += s->stats.handoff_failures;
+    }
+    return total;
+  }
+
+ private:
+  struct slot {
+    L lock;
+    std::uint64_t batch = 0;
+    s_cohort_stats stats;
+    explicit slot(engine& eng) : lock(eng) {}
+  };
+
+  std::uint64_t pass_limit_;
+  G global_;
+  std::vector<std::unique_ptr<slot>> locals_;
+};
+
+template <typename G, typename L>
+class s_abortable_cohort_lock {
+ public:
+  struct context {
+    typename L::context local;
+    unsigned cluster = 0;
+    release_kind acquired{};
+    explicit context(engine& eng) : local(eng) {}
+  };
+
+  s_abortable_cohort_lock(engine& eng, unsigned clusters,
+                          std::uint64_t pass_limit = 64)
+      : pass_limit_(pass_limit), global_(eng) {
+    for (unsigned c = 0; c < clusters; ++c)
+      locals_.push_back(std::make_unique<slot>(eng));
+  }
+
+  task<bool> try_lock(thread_ctx& t, context& ctx, tick deadline_at) {
+    ctx.cluster = t.cluster % locals_.size();
+    slot& s = *locals_[ctx.cluster];
+    auto r = co_await s.lock.try_lock(t, ctx.local, deadline_at);
+    if (!r.has_value()) co_return false;
+    ctx.acquired = *r;
+    if (*r == release_kind::global) {
+      if (!co_await global_.try_lock(t, deadline_at)) {
+        co_await s.lock.release_global(t, ctx.local);
+        co_return false;
+      }
+      s.batch = 0;
+      ++s.stats.global_acquires;
+    }
+    ++s.stats.acquisitions;
+    co_return true;
+  }
+
+  task<void> lock(thread_ctx& t, context& ctx) {
+    co_await try_lock(t, ctx, tick_max);
+  }
+
+  task<void> unlock(thread_ctx& t, context& ctx) {
+    slot& s = *locals_[ctx.cluster];
+    if (s.batch < pass_limit_) {
+      const bool alone = co_await s.lock.alone(t, ctx.local);
+      if (!alone) {
+        ++s.batch;
+        if (co_await s.lock.release_local(t, ctx.local)) {
+          ++s.stats.local_handoffs;
+          co_return;
+        }
+        ++s.stats.handoff_failures;
+        co_await global_.unlock(t);
+        co_return;
+      }
+    }
+    co_await global_.unlock(t);
+    co_await s.lock.release_global(t, ctx.local);
+  }
+
+  s_cohort_stats stats() const {
+    s_cohort_stats total;
+    for (const auto& s : locals_) {
+      total.acquisitions += s->stats.acquisitions;
+      total.global_acquires += s->stats.global_acquires;
+      total.local_handoffs += s->stats.local_handoffs;
+      total.handoff_failures += s->stats.handoff_failures;
+    }
+    return total;
+  }
+
+ private:
+  struct slot {
+    L lock;
+    std::uint64_t batch = 0;
+    s_cohort_stats stats;
+    explicit slot(engine& eng) : lock(eng) {}
+  };
+
+  std::uint64_t pass_limit_;
+  G global_;
+  std::vector<std::unique_ptr<slot>> locals_;
+};
+
+// ---- named instantiations (paper §3) -----------------------------------------
+
+using s_c_bo_bo_lock =
+    s_cohort_lock<s_bo_lock<no_backoff_policy>, s_cohort_bo_lock<false>>;
+using s_c_tkt_tkt_lock = s_cohort_lock<s_ticket_lock, s_cohort_ticket_lock>;
+using s_c_bo_mcs_lock =
+    s_cohort_lock<s_bo_lock<no_backoff_policy>, s_cohort_mcs_lock>;
+using s_c_tkt_mcs_lock = s_cohort_lock<s_ticket_lock, s_cohort_mcs_lock>;
+using s_c_mcs_mcs_lock = s_cohort_lock<s_oblivious_mcs_lock, s_cohort_mcs_lock>;
+
+using s_a_c_bo_bo_lock =
+    s_abortable_cohort_lock<s_bo_lock<no_backoff_policy>,
+                            s_cohort_bo_lock<true>>;
+using s_a_c_bo_clh_lock =
+    s_abortable_cohort_lock<s_bo_lock<no_backoff_policy>, s_cohort_aclh_lock>;
+
+}  // namespace sim

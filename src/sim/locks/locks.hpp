@@ -1,0 +1,479 @@
+// Simulated lock algorithms.
+//
+// These mirror the real implementations in src/locks and src/cohort, but run
+// against the simulated coherence model (sim/memory.hpp), which is what lets
+// the benchmark harness reproduce the paper's NUMA effects on a non-NUMA
+// host (DESIGN.md §2).  Structure and naming track the real locks closely;
+// where the real code relies on C++ memory orderings, the simulator is
+// sequentially consistent by construction (events apply in virtual-time
+// order), so only the algorithmic steps are mirrored.
+//
+// Common interface (mirrors cohort/core.hpp):
+//   global locks:  task<void> lock(thread_ctx&), task<void> unlock(...),
+//                  abortable adds task<bool> try_lock(thread_ctx&, tick).
+//   local locks:   task<release_kind> lock(t, ctx), task<bool> alone(t, ctx),
+//                  task<bool> release_local(t, ctx),
+//                  task<void> release_global(t, ctx); abortable adds
+//                  task<std::optional<release_kind>> try_lock(t, ctx, tick).
+// Deadlines are absolute virtual times (sim::tick).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cohort/core.hpp"
+#include "sim/engine.hpp"
+#include "sim/memory.hpp"
+#include "sim/task.hpp"
+
+namespace sim {
+
+using cohort::release_kind;
+
+// ---- backoff policies (virtual-time) ----------------------------------------
+
+struct no_backoff_policy {
+  static constexpr bool enabled = false;
+  void grow() {}
+  void reset() {}
+  tick window() const { return 0; }
+};
+
+struct exp_backoff_policy {
+  static constexpr bool enabled = true;
+  tick min_ns = 32, max_ns = 65536;
+  tick cur = 32;
+  void grow() { cur = cur * 2 > max_ns ? max_ns : cur * 2; }
+  void reset() { cur = min_ns; }
+  tick window() const { return cur; }
+};
+
+struct fib_backoff_policy {
+  static constexpr bool enabled = true;
+  tick min_ns = 32, max_ns = 65536;
+  tick prev = 0, cur = 32;
+  void grow() {
+    const tick next = prev + cur;
+    prev = cur;
+    cur = next > max_ns ? max_ns : next;
+  }
+  void reset() {
+    prev = 0;
+    cur = min_ns;
+  }
+  tick window() const { return cur; }
+};
+
+// ---- TATAS / BO --------------------------------------------------------------
+
+// Plain test-and-test-and-set lock.  Backoff == no_backoff_policy gives the
+// bare-bones spin used as the cohort global BO lock; exp/fib give the BO and
+// Fib-BO baselines.
+template <typename Backoff = no_backoff_policy>
+class s_bo_lock {
+ public:
+  struct context {
+    explicit context(engine&) {}
+  };
+
+  explicit s_bo_lock(engine& eng) : word_(eng, 0) {}
+
+  task<void> lock(thread_ctx& t) {
+    Backoff bo;
+    for (;;) {
+      auto r = co_await word_.cas(t, 0, 1);
+      if (r.ok) co_return;
+      if constexpr (Backoff::enabled) {
+        co_await t.eng->delay(t.rng.next_range(bo.window()) + 1);
+        bo.grow();
+        // Test-and-test-and-set: only attempt the CAS when it looks free.
+        const std::uint64_t v = co_await word_.load(t);
+        if (v != 0) continue;
+      } else {
+        co_await word_.wait_until(
+            t, [](std::uint64_t v, std::uint64_t) { return v == 0; }, 0);
+      }
+    }
+  }
+
+  task<bool> try_lock(thread_ctx& t, tick deadline_at) {
+    Backoff bo;
+    for (;;) {
+      auto r = co_await word_.cas(t, 0, 1);
+      if (r.ok) co_return true;
+      if (t.eng->now() >= deadline_at) co_return false;
+      if constexpr (Backoff::enabled) {
+        co_await t.eng->delay(t.rng.next_range(bo.window()) + 1);
+        bo.grow();
+      } else {
+        auto v = co_await word_.wait_until_for(
+            t, [](std::uint64_t v2, std::uint64_t) { return v2 == 0; }, 0,
+            deadline_at);
+        if (!v.has_value()) co_return false;
+      }
+    }
+  }
+
+  task<void> unlock(thread_ctx& t) { co_await word_.store(t, 0); }
+
+ private:
+  atom word_;
+};
+
+// ---- ticket lock -------------------------------------------------------------
+
+class s_ticket_lock {
+ public:
+  struct context {
+    explicit context(engine&) {}
+  };
+
+  explicit s_ticket_lock(engine& eng) : request_(eng, 0), grant_(eng, 0) {}
+
+  task<void> lock(thread_ctx& t) {
+    const std::uint64_t me = co_await request_.fetch_add(t, 1);
+    co_await grant_.wait_until(
+        t, [](std::uint64_t v, std::uint64_t want) { return v == want; }, me);
+  }
+
+  task<void> unlock(thread_ctx& t) { co_await grant_.fetch_add(t, 1); }
+
+ private:
+  atom request_;
+  atom grant_;
+};
+
+// ---- cohort-detecting local BO lock (C-BO-BO / A-C-BO-BO) --------------------
+//
+// The three-state word and the successor-exists flag are packed into one
+// simulated word, mirroring the real lock's single-cache-line layout:
+//   bits 0..1 state (0 global-release, 1 busy, 2 local-release)
+//   bit  2    successor-exists
+template <bool Abortable = false>
+class s_cohort_bo_lock {
+  static constexpr std::uint64_t st_global = 0, st_busy = 1, st_local = 2;
+  static constexpr std::uint64_t st_mask = 3, succ_bit = 4;
+
+ public:
+  struct context {
+    explicit context(engine&) {}
+  };
+
+  explicit s_cohort_bo_lock(engine& eng) : word_(eng, st_global) {}
+
+  task<release_kind> lock(thread_ctx& t, context& ctx) {
+    auto r = co_await try_lock_impl(t, ctx, tick_max);
+    co_return *r;
+  }
+
+  task<std::optional<release_kind>> try_lock(thread_ctx& t, context& ctx,
+                                             tick deadline_at) {
+    return try_lock_impl(t, ctx, deadline_at);
+  }
+
+  task<bool> alone(thread_ctx& t, context&) {
+    const std::uint64_t w = co_await word_.load(t);
+    co_return (w & succ_bit) == 0;
+  }
+
+  task<bool> release_local(thread_ctx& t, context&) {
+    // Publish LOCAL-RELEASE, preserving the successor flag.
+    std::uint64_t w = co_await word_.load(t);
+    for (;;) {
+      auto r = co_await word_.cas(t, w, st_local | (w & succ_bit));
+      if (r.ok) break;
+      w = r.old_value;
+    }
+    if constexpr (Abortable) {
+      // §3.6.1 double-check: an aborting waiter may have cleared the flag.
+      const std::uint64_t v = co_await word_.load(t);
+      if ((v & succ_bit) == 0) {
+        auto r = co_await word_.cas(t, st_local, st_global);
+        if (r.ok) co_return false;  // took the release back; caller frees G
+      }
+    }
+    co_return true;
+  }
+
+  task<void> release_global(thread_ctx& t, context&) {
+    // Successor flag deliberately cleared: the next acquirer re-announces.
+    co_await word_.store(t, st_global);
+  }
+
+ private:
+  // Like the real lock, waiters poll with exponential backoff rather than
+  // spin-waiting on a shared copy: with up to 64 threads per cluster, a
+  // wake-every-waiter-per-write regime would thrash the word line (and it is
+  // precisely this polling that makes C-BO-BO "sensitive to backoff
+  // parameters", §4.1.1).
+  task<std::optional<release_kind>> try_lock_impl(thread_ctx& t, context&,
+                                                  tick deadline_at) {
+    exp_backoff_policy bo{.min_ns = 32, .max_ns = 1024, .cur = 32};
+    for (;;) {
+      std::uint64_t w = co_await word_.load(t);
+      if ((w & st_mask) != st_busy) {
+        // Acquire; the CAS also performs the winner's successor-flag reset
+        // (spinning waiters will re-set it).
+        auto r = co_await word_.cas(t, w, st_busy);
+        if (r.ok)
+          co_return (w & st_mask) == st_local ? release_kind::local
+                                              : release_kind::global;
+        continue;  // re-examine without growing the window
+      }
+      if ((w & succ_bit) == 0) {
+        // Announce ourselves (paper §3.1: set immediately before attempting
+        // the CAS, re-set whenever the winner's reset is observed).  Failure
+        // just means the word changed; re-examine.
+        co_await word_.cas(t, w, w | succ_bit);
+        continue;
+      }
+      if constexpr (Abortable) {
+        if (t.eng->now() >= deadline_at) {
+          // §3.6.1: an aborting waiter resets successor-exists to tell the
+          // releaser a waiter has gone.
+          co_await word_.cas(t, w, w & ~succ_bit);
+          co_return std::nullopt;
+        }
+      }
+      co_await t.eng->delay(t.rng.next_range(bo.window()) + 1);
+      bo.grow();
+    }
+  }
+
+  atom word_;
+};
+
+// ---- cohort-detecting local ticket lock (C-TKT-TKT / C-TKT-MCS) --------------
+
+class s_cohort_ticket_lock {
+ public:
+  struct context {
+    explicit context(engine&) {}
+    std::uint64_t ticket = 0;
+  };
+
+  explicit s_cohort_ticket_lock(engine& eng)
+      : request_(eng, 0), grant_(eng, 0), top_granted_(eng, 0) {}
+
+  task<release_kind> lock(thread_ctx& t, context& ctx) {
+    ctx.ticket = co_await request_.fetch_add(t, 1);
+    co_await grant_.wait_until(
+        t, [](std::uint64_t v, std::uint64_t want) { return v == want; },
+        ctx.ticket);
+    const std::uint64_t tg = co_await top_granted_.load(t);
+    if (tg != 0) {
+      co_await top_granted_.store(t, 0);
+      co_return release_kind::local;
+    }
+    co_return release_kind::global;
+  }
+
+  task<bool> alone(thread_ctx& t, context& ctx) {
+    const std::uint64_t req = co_await request_.load(t);
+    co_return req == ctx.ticket + 1;
+  }
+
+  task<bool> release_local(thread_ctx& t, context& ctx) {
+    co_await top_granted_.store(t, 1);
+    co_await grant_.store(t, ctx.ticket + 1);
+    co_return true;
+  }
+
+  task<void> release_global(thread_ctx& t, context& ctx) {
+    co_await grant_.store(t, ctx.ticket + 1);
+  }
+
+ private:
+  atom request_;
+  atom grant_;
+  atom top_granted_;
+};
+
+// ---- MCS family ---------------------------------------------------------------
+
+namespace mcs_detail {
+inline constexpr std::uint64_t st_busy = 0, st_local = 1, st_global = 2,
+                               st_plain_granted = 3;
+}
+
+// Queue node: `next` and `state` are separate simulated words (the real lock
+// keeps them on one line; modelling them separately slightly overstates the
+// handoff cost uniformly across all MCS-based locks).
+struct s_mcs_node {
+  atom next;
+  atom state;
+  explicit s_mcs_node(engine& eng) : next(eng, 0), state(eng, 0) {}
+};
+
+// Classic MCS lock (the paper's NUMA-oblivious baseline).
+class s_mcs_lock {
+ public:
+  struct context {
+    s_mcs_node node;
+    explicit context(engine& eng) : node(eng) {}
+  };
+
+  explicit s_mcs_lock(engine& eng) : tail_(eng, 0) {}
+
+  task<void> lock(thread_ctx& t, context& ctx) {
+    s_mcs_node* me = &ctx.node;
+    co_await me->next.store(t, 0);
+    co_await me->state.store(t, mcs_detail::st_busy);
+    const std::uint64_t pred =
+        co_await tail_.exchange(t, reinterpret_cast<std::uintptr_t>(me));
+    if (pred == 0) co_return;
+    auto* p = reinterpret_cast<s_mcs_node*>(pred);
+    co_await p->next.store(t, reinterpret_cast<std::uintptr_t>(me));
+    co_await me->state.wait_until(
+        t,
+        [](std::uint64_t v, std::uint64_t) {
+          return v == mcs_detail::st_plain_granted;
+        },
+        0);
+  }
+
+  task<void> unlock(thread_ctx& t, context& ctx) {
+    s_mcs_node* me = &ctx.node;
+    std::uint64_t succ = co_await me->next.load(t);
+    if (succ == 0) {
+      auto r =
+          co_await tail_.cas(t, reinterpret_cast<std::uintptr_t>(me), 0);
+      if (r.ok) co_return;
+      succ = co_await me->next.wait_until(
+          t, [](std::uint64_t v, std::uint64_t) { return v != 0; }, 0);
+    }
+    co_await reinterpret_cast<s_mcs_node*>(succ)->state.store(
+        t, mcs_detail::st_plain_granted);
+  }
+
+ private:
+  atom tail_;
+};
+
+// Cohort-detecting local MCS lock (§3.3).
+class s_cohort_mcs_lock {
+ public:
+  struct context {
+    s_mcs_node node;
+    explicit context(engine& eng) : node(eng) {}
+  };
+
+  explicit s_cohort_mcs_lock(engine& eng) : tail_(eng, 0) {}
+
+  task<release_kind> lock(thread_ctx& t, context& ctx) {
+    s_mcs_node* me = &ctx.node;
+    co_await me->next.store(t, 0);
+    co_await me->state.store(t, mcs_detail::st_busy);
+    const std::uint64_t pred =
+        co_await tail_.exchange(t, reinterpret_cast<std::uintptr_t>(me));
+    if (pred == 0) co_return release_kind::global;
+    auto* p = reinterpret_cast<s_mcs_node*>(pred);
+    co_await p->next.store(t, reinterpret_cast<std::uintptr_t>(me));
+    const std::uint64_t s = co_await me->state.wait_until(
+        t,
+        [](std::uint64_t v, std::uint64_t) {
+          return v != mcs_detail::st_busy;
+        },
+        0);
+    co_return s == mcs_detail::st_local ? release_kind::local
+                                        : release_kind::global;
+  }
+
+  task<bool> alone(thread_ctx& t, context& ctx) {
+    const std::uint64_t succ = co_await ctx.node.next.load(t);
+    co_return succ == 0;
+  }
+
+  task<bool> release_local(thread_ctx& t, context& ctx) {
+    const std::uint64_t succ = co_await ctx.node.next.load(t);
+    co_await reinterpret_cast<s_mcs_node*>(succ)->state.store(
+        t, mcs_detail::st_local);
+    co_return true;
+  }
+
+  task<void> release_global(thread_ctx& t, context& ctx) {
+    s_mcs_node* me = &ctx.node;
+    std::uint64_t succ = co_await me->next.load(t);
+    if (succ == 0) {
+      auto r =
+          co_await tail_.cas(t, reinterpret_cast<std::uintptr_t>(me), 0);
+      if (r.ok) co_return;
+      succ = co_await me->next.wait_until(
+          t, [](std::uint64_t v, std::uint64_t) { return v != 0; }, 0);
+    }
+    co_await reinterpret_cast<s_mcs_node*>(succ)->state.store(
+        t, mcs_detail::st_global);
+  }
+
+ private:
+  atom tail_;
+};
+
+// Thread-oblivious global MCS lock with circulating nodes (§3.4).
+class s_oblivious_mcs_lock {
+ public:
+  explicit s_oblivious_mcs_lock(engine& eng) : eng_(&eng), tail_(eng, 0) {}
+
+  task<void> lock(thread_ctx& t) {
+    s_mcs_node* me = acquire_node();
+    co_await me->next.store(t, 0);
+    co_await me->state.store(t, mcs_detail::st_busy);
+    const std::uint64_t pred =
+        co_await tail_.exchange(t, reinterpret_cast<std::uintptr_t>(me));
+    if (pred != 0) {
+      auto* p = reinterpret_cast<s_mcs_node*>(pred);
+      co_await p->next.store(t, reinterpret_cast<std::uintptr_t>(me));
+      co_await me->state.wait_until(
+          t,
+          [](std::uint64_t v, std::uint64_t) {
+            return v == mcs_detail::st_plain_granted;
+          },
+          0);
+    }
+    current_ = me;
+  }
+
+  task<void> unlock(thread_ctx& t) {
+    s_mcs_node* me = current_;
+    current_ = nullptr;
+    std::uint64_t succ = co_await me->next.load(t);
+    if (succ == 0) {
+      auto r =
+          co_await tail_.cas(t, reinterpret_cast<std::uintptr_t>(me), 0);
+      if (r.ok) {
+        release_node(me);
+        co_return;
+      }
+      succ = co_await me->next.wait_until(
+          t, [](std::uint64_t v, std::uint64_t) { return v != 0; }, 0);
+    }
+    co_await reinterpret_cast<s_mcs_node*>(succ)->state.store(
+        t, mcs_detail::st_plain_granted);
+    release_node(me);
+  }
+
+ private:
+  // Node pool management is thread-local in the real lock and essentially
+  // free; the simulator models only the node *line* traffic.
+  s_mcs_node* acquire_node() {
+    if (!free_.empty()) {
+      s_mcs_node* n = free_.back();
+      free_.pop_back();
+      return n;
+    }
+    owned_.push_back(std::make_unique<s_mcs_node>(*eng_));
+    return owned_.back().get();
+  }
+  void release_node(s_mcs_node* n) { free_.push_back(n); }
+
+  engine* eng_;
+  atom tail_;
+  s_mcs_node* current_ = nullptr;
+  std::vector<std::unique_ptr<s_mcs_node>> owned_;
+  std::vector<s_mcs_node*> free_;
+};
+
+}  // namespace sim

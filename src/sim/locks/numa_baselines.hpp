@@ -1,0 +1,372 @@
+// Simulated prior NUMA-aware locks: HBO, HCLH and FC-MCS.
+// Mirrors src/locks/{hbo,hclh,fcmcs}.hpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/locks/locks.hpp"
+
+namespace sim {
+
+// ---- HBO (Radovic & Hagersten) ------------------------------------------------
+//
+// TATAS whose word holds the owner's cluster; waiters back off briefly when
+// the holder is local and for much longer when it is remote.  Backing off
+// means *not* holding a shared copy, so HBO avoids the invalidation storm --
+// at the cost of the two hand-tuned backoff ranges the paper criticises.
+class s_hbo_lock {
+ public:
+  struct params {
+    tick local_min = 16, local_max = 512;
+    tick remote_min = 512, remote_max = 32768;
+  };
+
+  struct context {
+    explicit context(engine&) {}
+  };
+
+  static constexpr std::uint64_t free_word = ~std::uint64_t{0};
+
+  explicit s_hbo_lock(engine& eng) : word_(eng, free_word) {}
+  s_hbo_lock(engine& eng, params p) : word_(eng, free_word), p_(p) {}
+
+  task<void> lock(thread_ctx& t) { co_await try_lock(t, tick_max); }
+
+  task<bool> try_lock(thread_ctx& t, tick deadline_at) {
+    tick local_w = p_.local_min, remote_w = p_.remote_min;
+    for (;;) {
+      std::uint64_t w = co_await word_.load(t);
+      if (w == free_word) {
+        auto r = co_await word_.cas(t, free_word, t.cluster);
+        if (r.ok) co_return true;
+        continue;
+      }
+      if (t.eng->now() >= deadline_at) co_return false;
+      if (w == t.cluster) {
+        co_await t.eng->delay(t.rng.next_range(local_w) + 1);
+        local_w = local_w * 2 > p_.local_max ? p_.local_max : local_w * 2;
+        remote_w = p_.remote_min;
+      } else {
+        co_await t.eng->delay(t.rng.next_range(remote_w) + 1);
+        remote_w =
+            remote_w * 2 > p_.remote_max ? p_.remote_max : remote_w * 2;
+        local_w = p_.local_min;
+      }
+    }
+  }
+
+  task<void> unlock(thread_ctx& t) { co_await word_.store(t, free_word); }
+
+ private:
+  atom word_;
+  params p_;
+};
+
+// The two tunings the paper's tables report ("HBO" was tuned for the
+// microbenchmark; "HBO (tuned)" for memcached).
+inline s_hbo_lock::params s_hbo_microbench_tuning() {
+  return {.local_min = 16, .local_max = 512,
+          .remote_min = 512, .remote_max = 32768};
+}
+inline s_hbo_lock::params s_hbo_memcached_tuning() {
+  return {.local_min = 8, .local_max = 128,
+          .remote_min = 64, .remote_max = 2048};
+}
+
+// ---- HCLH (Luchangco, Nussbaum & Shavit) ---------------------------------------
+//
+// See src/locks/hclh.hpp for the word layout and the reference-count scheme
+// that guards node recycling (the same stale-read hazard exists in virtual
+// time).
+class s_hclh_lock {
+  struct qnode {
+    atom word;
+    int refs = 0;  // bookkeeping only; not a modelled memory access
+    explicit qnode(engine& eng) : word(eng, 0) {}
+  };
+
+  static constexpr std::uint64_t smw_bit = 1ull << 31;
+  static constexpr std::uint64_t tws_bit = 1ull << 30;
+  static constexpr std::uint64_t no_cluster = tws_bit - 1;
+
+ public:
+  struct context {
+    explicit context(engine&) {}
+    qnode* mine = nullptr;
+    qnode* pred = nullptr;
+  };
+
+  explicit s_hclh_lock(engine& eng, unsigned clusters)
+      : eng_(&eng), global_tail_(eng, 0) {
+    for (unsigned c = 0; c < clusters; ++c)
+      local_tails_.push_back(std::make_unique<atom>(eng, 0));
+    qnode* dummy = alloc(no_cluster);
+    global_tail_.poke(reinterpret_cast<std::uintptr_t>(dummy));
+  }
+
+  task<void> lock(thread_ctx& t, context& ctx) {
+    qnode* me = alloc(smw_bit | t.cluster);
+    ctx.mine = me;
+    atom& local_tail = *local_tails_[t.cluster % local_tails_.size()];
+    const std::uint64_t predw =
+        co_await local_tail.exchange(t, reinterpret_cast<std::uintptr_t>(me));
+    if (predw != 0) {
+      auto* pred = reinterpret_cast<qnode*>(predw);
+      bool granted = false;
+      for (;;) {
+        const std::uint64_t pw = co_await pred->word.load(t);
+        if ((pw & tws_bit) != 0) break;  // we are the next cluster master
+        if ((pw & smw_bit) == 0) {
+          granted = true;
+          break;
+        }
+        co_await pred->word.wait_until(
+            t, [](std::uint64_t v, std::uint64_t old) { return v != old; },
+            pw);
+      }
+      if (granted) {
+        ctx.pred = pred;
+        co_return;
+      }
+      unref(pred);
+    }
+    // Cluster master: brief combining delay, then splice the local queue
+    // into the global queue.
+    co_await t.eng->delay(combining_wait_ns);
+    const std::uint64_t lastw = co_await local_tail.load(t);
+    auto* local_last = reinterpret_cast<qnode*>(lastw);
+    local_last->refs += 1;  // global queue's claim, before TWS is visible
+    const std::uint64_t gpredw = co_await global_tail_.exchange(
+        t, reinterpret_cast<std::uintptr_t>(local_last));
+    // Mark the spliced tail.
+    std::uint64_t w = co_await local_last->word.load(t);
+    for (;;) {
+      auto r = co_await local_last->word.cas(t, w, w | tws_bit);
+      if (r.ok) break;
+      w = r.old_value;
+    }
+    auto* gpred = reinterpret_cast<qnode*>(gpredw);
+    co_await gpred->word.wait_until(
+        t, [](std::uint64_t v, std::uint64_t) { return (v & smw_bit) == 0; },
+        0);
+    ctx.pred = gpred;
+  }
+
+  task<void> unlock(thread_ctx& t, context& ctx) {
+    std::uint64_t w = co_await ctx.mine->word.load(t);
+    for (;;) {
+      auto r = co_await ctx.mine->word.cas(t, w, w & ~smw_bit);
+      if (r.ok) break;
+      w = r.old_value;
+    }
+    unref(ctx.pred);
+    ctx.mine = nullptr;
+    ctx.pred = nullptr;
+  }
+
+ private:
+  qnode* alloc(std::uint64_t word_value) {
+    qnode* n;
+    if (!free_.empty()) {
+      n = free_.back();
+      free_.pop_back();
+    } else {
+      owned_.push_back(std::make_unique<qnode>(*eng_));
+      n = owned_.back().get();
+    }
+    n->word.poke(word_value);
+    n->refs = 1;
+    return n;
+  }
+  void unref(qnode* n) {
+    if (--n->refs == 0) free_.push_back(n);
+  }
+
+  static constexpr tick combining_wait_ns = 100;
+
+  engine* eng_;
+  std::vector<std::unique_ptr<atom>> local_tails_;
+  atom global_tail_;
+  std::vector<std::unique_ptr<qnode>> owned_;
+  std::vector<qnode*> free_;
+};
+
+// ---- FC-MCS (Dice, Marathe & Shavit) -------------------------------------------
+//
+// Per-cluster publication stacks; an elected combiner threads an MCS chain
+// through the posted requests and splices it into the global MCS queue with
+// one swap.  Mirrors src/locks/fcmcs.hpp.
+class s_fcmcs_lock {
+  struct cluster_state {
+    atom pub_head;
+    atom combiner;
+    // Adaptive combining window (plain metadata, only touched while holding
+    // the combiner seat): grows while batches come up short of the target,
+    // shrinks when they overshoot.  This mirrors the original's adaptive
+    // combining epoch -- at saturation the queue wait dwarfs the window, so
+    // waiting longer to form long same-cluster batches is free.
+    tick window = 0;
+    explicit cluster_state(engine& eng) : pub_head(eng, 0), combiner(eng, 0) {}
+  };
+
+ public:
+  struct context {
+    atom stack_next;
+    atom assigned;
+    explicit context(engine& eng) : stack_next(eng, 0), assigned(eng, 0) {}
+  };
+
+  explicit s_fcmcs_lock(engine& eng, unsigned clusters)
+      : eng_(&eng), tail_(eng, 0), free_(clusters) {
+    for (unsigned c = 0; c < clusters; ++c)
+      state_.push_back(std::make_unique<cluster_state>(eng));
+  }
+
+  task<void> lock(thread_ctx& t, context& ctx) {
+    cluster_state& cs = *state_[t.cluster % state_.size()];
+    co_await ctx.assigned.store(t, 0);
+
+    // Publish.
+    std::uint64_t head = co_await cs.pub_head.load(t);
+    for (;;) {
+      co_await ctx.stack_next.store(t, head);
+      auto r = co_await cs.pub_head.cas(
+          t, head, reinterpret_cast<std::uintptr_t>(&ctx));
+      if (r.ok) break;
+      head = r.old_value;
+    }
+
+    // Wait for a combiner to thread us into the global queue; combine
+    // ourselves when the combiner seat is free.
+    for (;;) {
+      const std::uint64_t assigned = co_await ctx.assigned.load(t);
+      if (assigned != 0) break;
+      auto c = co_await cs.combiner.cas(t, 0, 1);
+      if (c.ok) {
+        co_await combine(t, cs);
+        co_await cs.combiner.store(t, 0);
+        continue;
+      }
+      co_await ctx.assigned.wait_until_for(
+          t, [](std::uint64_t v, std::uint64_t) { return v != 0; }, 0,
+          t.eng->now() + recheck_ns);
+    }
+
+    auto* me = reinterpret_cast<s_mcs_node*>(
+        co_await ctx.assigned.load(t));
+    co_await me->state.wait_until(
+        t,
+        [](std::uint64_t v, std::uint64_t) {
+          return v == mcs_detail::st_plain_granted;
+        },
+        0);
+  }
+
+  task<void> unlock(thread_ctx& t, context& ctx) {
+    auto* me =
+        reinterpret_cast<s_mcs_node*>(co_await ctx.assigned.load(t));
+    std::uint64_t succ = co_await me->next.load(t);
+    if (succ == 0) {
+      auto r =
+          co_await tail_.cas(t, reinterpret_cast<std::uintptr_t>(me), 0);
+      if (r.ok) {
+        free_[t.cluster % free_.size()].push_back(me);
+        co_return;
+      }
+      succ = co_await me->next.wait_until(
+          t, [](std::uint64_t v, std::uint64_t) { return v != 0; }, 0);
+    }
+    co_await reinterpret_cast<s_mcs_node*>(succ)->state.store(
+        t, mcs_detail::st_plain_granted);
+    free_[t.cluster % free_.size()].push_back(me);
+  }
+
+ private:
+  task<void> combine(thread_ctx& t, cluster_state& cs) {
+    if (cs.window > 0) co_await t.eng->delay(cs.window);
+    const std::uint64_t lifo_head = co_await cs.pub_head.exchange(t, 0);
+    if (lifo_head == 0) {
+      cs.window /= 2;
+      co_return;
+    }
+
+    // Reverse to arrival order.
+    std::vector<context*> reqs;
+    for (auto* r = reinterpret_cast<context*>(lifo_head); r != nullptr;) {
+      reqs.push_back(r);
+      const std::uint64_t nxt = co_await r->stack_next.load(t);
+      r = reinterpret_cast<context*>(nxt);
+    }
+    std::vector<s_mcs_node*> nodes;
+    nodes.reserve(reqs.size());
+
+    // Build the chain in arrival order (reqs is currently LIFO).
+    s_mcs_node* chain_head = nullptr;
+    s_mcs_node* chain_tail = nullptr;
+    for (std::size_t i = reqs.size(); i-- > 0;) {
+      s_mcs_node* n = alloc_node(t.cluster);
+      co_await n->next.store(t, 0);
+      co_await n->state.store(t, mcs_detail::st_busy);
+      if (chain_tail != nullptr)
+        co_await chain_tail->next.store(t, reinterpret_cast<std::uintptr_t>(n));
+      else
+        chain_head = n;
+      chain_tail = n;
+      nodes.push_back(n);
+    }
+
+    const std::uint64_t predw = co_await tail_.exchange(
+        t, reinterpret_cast<std::uintptr_t>(chain_tail));
+    if (predw != 0)
+      co_await reinterpret_cast<s_mcs_node*>(predw)->next.store(
+          t, reinterpret_cast<std::uintptr_t>(chain_head));
+    else
+      co_await chain_head->state.store(t, mcs_detail::st_plain_granted);
+
+    // Publish assignments: nodes[j] belongs to the j-th arrival, i.e. to
+    // reqs[reqs.size()-1-j].
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      context* r = reqs[reqs.size() - 1 - j];
+      co_await r->assigned.store(t, reinterpret_cast<std::uintptr_t>(nodes[j]));
+    }
+
+    // Adapt the combining window towards the batch-size target.  Only grow
+    // on evidence of contention (batches of >= 2): without it an idle lock
+    // would ratchet the window up and penalise the uncontended path.
+    if (reqs.size() == 1)
+      cs.window /= 2;
+    else if (reqs.size() < batch_target / 2)
+      cs.window = cs.window * 2 + 200 > window_max_ns ? window_max_ns
+                                                      : cs.window * 2 + 200;
+    else if (reqs.size() > batch_target)
+      cs.window = cs.window * 3 / 4;
+  }
+
+  // Per-cluster node pools, as in the real lock: nodes recycle within a
+  // cluster so the combiner's chain-building stores stay local.
+  s_mcs_node* alloc_node(unsigned cluster) {
+    auto& free = free_[cluster % free_.size()];
+    if (!free.empty()) {
+      s_mcs_node* n = free.back();
+      free.pop_back();
+      return n;
+    }
+    owned_.push_back(std::make_unique<s_mcs_node>(*eng_));
+    return owned_.back().get();
+  }
+
+  static constexpr tick recheck_ns = 400;
+  static constexpr std::size_t batch_target = 10;
+  static constexpr tick window_max_ns = 8'000;
+
+  engine* eng_;
+  std::vector<std::unique_ptr<cluster_state>> state_;
+  atom tail_;
+  std::vector<std::unique_ptr<s_mcs_node>> owned_;
+  std::vector<std::vector<s_mcs_node*>> free_;
+};
+
+}  // namespace sim

@@ -1,0 +1,29 @@
+#include "sim/locks/registry.hpp"
+
+namespace sim {
+
+const std::vector<std::string>& fig2_lock_names() {
+  static const std::vector<std::string> names = {
+      "MCS",     "HBO",       "HCLH",      "FC-MCS",   "C-BO-BO",
+      "C-TKT-TKT", "C-BO-MCS", "C-TKT-MCS", "C-MCS-MCS"};
+  return names;
+}
+
+const std::vector<std::string>& fig6_lock_names() {
+  static const std::vector<std::string> names = {"A-CLH", "A-HBO",
+                                                 "A-C-BO-BO", "A-C-BO-CLH"};
+  return names;
+}
+
+const std::vector<std::string>& table1_lock_names() {
+  static const std::vector<std::string> names = {
+      "pthread", "Fib-BO",  "MCS",       "HBO",      "HBO-tuned", "FC-MCS",
+      "C-BO-BO", "C-TKT-TKT", "C-BO-MCS", "C-TKT-MCS", "C-MCS-MCS"};
+  return names;
+}
+
+const std::vector<std::string>& table2_lock_names() {
+  return table1_lock_names();
+}
+
+}  // namespace sim

@@ -1,0 +1,124 @@
+#include "sim/memory.hpp"
+
+namespace sim {
+
+tick line_access(engine& eng, line_state& line, unsigned cluster, bool write) {
+  const config& cfg = eng.cfg();
+  auto& ms = eng.memstats;
+  ++ms.accesses;
+
+  // Serialise at the line (directory).  How long this access occupies the
+  // line depends on whether it is served locally: intra-cluster refetches
+  // overlap almost fully on the T5440 (cores share the cluster's L2), which
+  // is why the paper can afford write-sharing the successor-exists flag
+  // inside a cluster; remote transfers hold the line for the directory
+  // transaction.
+  const tick now = eng.now();
+  const tick start = now > line.busy_until ? now : line.busy_until;
+
+  const std::uint32_t me = 1u << cluster;
+  tick done;
+  bool served_remotely = false;
+
+  if (write) {
+    const bool m_hit = line.modified && line.owner == cluster;
+    const bool remote_copy =
+        (line.modified && line.owner != cluster) ||
+        (!line.modified && (line.sharers & ~me) != 0);
+    if (m_hit) {
+      done = start + cfg.local_hit;
+    } else if (remote_copy) {
+      // Fetch-exclusive: one interconnect transaction per remote cluster
+      // that holds a copy (invalidations fan out).  This is what makes
+      // polling loads from many clusters (HBO under heavy load) expensive
+      // for the writer.
+      ++ms.coherence_misses;
+      served_remotely = true;
+      const std::uint32_t remote_clusters =
+          line.modified ? 1u
+                        : static_cast<std::uint32_t>(
+                              __builtin_popcount(line.sharers & ~me));
+      done = eng.interconnect_transfer_n(start, remote_clusters);
+    } else if (!line.ever_touched) {
+      ++ms.cold_misses;
+      done = start + cfg.cold_miss;
+    } else {
+      // Shared only by us (or by nobody): silent upgrade.
+      done = start + cfg.local_hit;
+    }
+    line.owner = cluster;
+    line.modified = true;
+    line.sharers = me;
+  } else {
+    const bool hit = (line.modified && line.owner == cluster) ||
+                     (!line.modified && (line.sharers & me) != 0);
+    if (hit) {
+      done = start + cfg.local_hit;
+    } else if (line.modified || line.sharers != 0) {
+      // Served by a remote cluster's cache: the coherence miss of Figure 3.
+      ++ms.coherence_misses;
+      served_remotely = true;
+      done = eng.interconnect_transfer(start);
+      if (line.modified) {
+        // Downgrade the owner to a sharer.
+        line.sharers = (1u << line.owner) | me;
+        line.owner = line_state::no_owner;
+        line.modified = false;
+      } else {
+        line.sharers |= me;
+      }
+    } else {
+      if (!line.ever_touched) ++ms.cold_misses;
+      done = start + cfg.cold_miss;
+      line.sharers |= me;
+      line.modified = false;
+    }
+  }
+  line.ever_touched = true;
+  line.busy_until = start + (served_remotely ? cfg.line_occupancy : 1);
+  return done - now;
+}
+
+void atom::wait_awaiter::await_suspend(std::coroutine_handle<> h) {
+  handle = h;
+  t->current_wait = this;
+  a->waiters_.push_back(t);
+  if (deadline_at != tick_max) {
+    a->eng_->schedule_thread_event(deadline_at, t, t->wait_epoch,
+                                   engine::thread_event_kind::timeout);
+  }
+}
+
+void atom::schedule_wakes(tick at) {
+  // Pop everyone; woken threads re-read (and re-register if still waiting),
+  // which charges the refetch through the line and the interconnect --
+  // the invalidation-storm cost.
+  for (thread_ctx* t : waiters_) {
+    eng_->schedule_thread_event(at, t, t->wait_epoch,
+                                engine::thread_event_kind::wake);
+  }
+  waiters_.clear();
+}
+
+task<std::uint64_t> atom::wait_until(thread_ctx& t, wait_pred pred,
+                                     std::uint64_t arg) {
+  for (;;) {
+    const std::uint64_t v = co_await load(t);
+    if (pred(v, arg)) co_return v;
+    co_await suspend_wait(t, tick_max);
+  }
+}
+
+task<std::optional<std::uint64_t>> atom::wait_until_for(thread_ctx& t,
+                                                        wait_pred pred,
+                                                        std::uint64_t arg,
+                                                        tick deadline_at) {
+  for (;;) {
+    const std::uint64_t v = co_await load(t);
+    if (pred(v, arg)) co_return v;
+    if (eng_->now() >= deadline_at) co_return std::nullopt;
+    if (!co_await suspend_wait(t, deadline_at)) co_return std::nullopt;
+  }
+}
+
+}  // namespace sim

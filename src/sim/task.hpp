@@ -1,0 +1,134 @@
+// Minimal coroutine task type for simulated threads.
+//
+// Simulated hardware threads are coroutines: a memory access or delay
+// suspends the coroutine and registers a wake-up event in the discrete-event
+// engine.  task<T> supports nesting with symmetric transfer, so lock
+// algorithms compose exactly like ordinary functions:
+//
+//   sim::task<release_kind> lock(thread_ctx& t) { co_await word_.cas(...); }
+//   ...
+//   auto k = co_await local_.lock(t);
+//
+// Tasks are lazy (started when awaited); top-level tasks are started by the
+// engine.  Simulator code never throws across coroutine boundaries, so
+// unhandled_exception terminates.
+#pragma once
+
+#include <coroutine>
+#include <cstdlib>
+#include <utility>
+
+namespace sim {
+
+namespace detail {
+
+struct final_awaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    // Resume whoever co_awaited us; top-level tasks have no continuation.
+    auto cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct promise_common {
+  std::coroutine_handle<> continuation = nullptr;
+  std::suspend_always initial_suspend() const noexcept { return {}; }
+  final_awaiter final_suspend() const noexcept { return {}; }
+  void unhandled_exception() noexcept { std::abort(); }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] task {
+ public:
+  struct promise_type : detail::promise_common {
+    T value{};
+    task get_return_object() {
+      return task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) noexcept { value = std::move(v); }
+  };
+
+  task() = default;
+  task(task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  task& operator=(task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  task(const task&) = delete;
+  task& operator=(const task&) = delete;
+  ~task() { destroy(); }
+
+  // Awaiting a task starts it (symmetric transfer).
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) {
+    h_.promise().continuation = awaiting;
+    return h_;
+  }
+  T await_resume() { return std::move(h_.promise().value); }
+
+  std::coroutine_handle<> handle() const noexcept { return h_; }
+
+ private:
+  explicit task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_ = nullptr;
+};
+
+template <>
+class [[nodiscard]] task<void> {
+ public:
+  struct promise_type : detail::promise_common {
+    task get_return_object() {
+      return task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() const noexcept {}
+  };
+
+  task() = default;
+  task(task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  task& operator=(task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  task(const task&) = delete;
+  task& operator=(const task&) = delete;
+  ~task() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) {
+    h_.promise().continuation = awaiting;
+    return h_;
+  }
+  void await_resume() const noexcept {}
+
+  std::coroutine_handle<> handle() const noexcept { return h_; }
+
+ private:
+  explicit task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_ = nullptr;
+};
+
+}  // namespace sim

@@ -1,0 +1,49 @@
+// Cache-line alignment helpers used throughout the lock library.
+//
+// Every mutable word that different threads contend on gets its own cache
+// line; cohort locks in particular keep each cluster's local lock on lines
+// owned by that cluster.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cohort {
+
+// std::hardware_destructive_interference_size exists but is famously
+// unreliable across toolchains; 64 bytes is correct for x86-64 and SPARC T2+,
+// and 128 covers adjacent-line prefetchers when doubled padding is requested.
+inline constexpr std::size_t cache_line_size = 64;
+
+// A T padded out to a whole number of cache lines and aligned to one.
+// Access the payload through get()/operator*.
+template <typename T>
+struct alignas(cache_line_size) padded {
+  T value{};
+
+  padded() = default;
+
+  template <typename... Args>
+  explicit padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& get() noexcept { return value; }
+  const T& get() const noexcept { return value; }
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Tail padding so sizeof(padded<T>) is a multiple of the line size even
+  // when T is larger than one line.
+  char pad_[(sizeof(T) % cache_line_size) == 0
+                ? cache_line_size
+                : cache_line_size - (sizeof(T) % cache_line_size)] = {};
+};
+
+static_assert(sizeof(padded<char>) == cache_line_size);
+static_assert(alignof(padded<char>) == cache_line_size);
+
+}  // namespace cohort

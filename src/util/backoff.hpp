@@ -1,0 +1,79 @@
+// Backoff policies for test-and-test-and-set style locks.
+//
+// The paper's BO lock is TATAS with exponential backoff [Agarwal & Cherian];
+// its memcached tables additionally use a Fibonacci-backoff variant (Fib-BO),
+// and HBO [Radovic & Hagersten] needs *two* independently tuned backoff
+// ranges (local vs remote cluster).  Policies are value types so each lock
+// instance can carry its own tuning.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/spin.hpp"
+
+namespace cohort {
+
+// Bounded exponential backoff with multiplicative growth and jitter.
+class exp_backoff {
+ public:
+  struct params {
+    std::uint32_t min_spins = 16;
+    std::uint32_t max_spins = 4 * 1024;
+    std::uint32_t multiplier = 2;
+  };
+
+  exp_backoff() : exp_backoff(params{}) {}
+  explicit exp_backoff(params p) : p_(p), limit_(p.min_spins) {}
+
+  // One backoff episode; grows the window for the next episode.
+  void pause(xorshift& rng) {
+    const std::uint32_t spins = rng.next_range(limit_) + 1;
+    for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
+    limit_ = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(limit_) * p_.multiplier, p_.max_spins);
+  }
+
+  void reset() noexcept { limit_ = p_.min_spins; }
+  std::uint32_t window() const noexcept { return limit_; }
+
+ private:
+  params p_;
+  std::uint32_t limit_;
+};
+
+// Fibonacci backoff: the window grows along the Fibonacci sequence, a gentler
+// ramp than doubling.  This is the "Fib-BO" configuration from Table 1.
+class fib_backoff {
+ public:
+  struct params {
+    std::uint32_t min_spins = 16;
+    std::uint32_t max_spins = 4 * 1024;
+  };
+
+  fib_backoff() : fib_backoff(params{}) {}
+  explicit fib_backoff(params p) : p_(p), prev_(0), cur_(p.min_spins) {}
+
+  void pause(xorshift& rng) {
+    const std::uint32_t spins = rng.next_range(cur_) + 1;
+    for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
+    const std::uint64_t next = static_cast<std::uint64_t>(prev_) + cur_;
+    prev_ = cur_;
+    cur_ = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(next, p_.max_spins));
+  }
+
+  void reset() noexcept {
+    prev_ = 0;
+    cur_ = p_.min_spins;
+  }
+  std::uint32_t window() const noexcept { return cur_; }
+
+ private:
+  params p_;
+  std::uint32_t prev_;
+  std::uint32_t cur_;
+};
+
+}  // namespace cohort

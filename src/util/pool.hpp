@@ -1,0 +1,112 @@
+// Node pools for queue locks whose nodes outlive the acquiring thread's
+// critical section.
+//
+// C-MCS-MCS needs this (paper §3.4): the thread that enqueues a node on the
+// *global* MCS queue is usually not the thread that dequeues it, so the node
+// must circulate back to its owner's pool.  A-C-BO-CLH needs it too: the
+// successor of an aborted CLH node reclaims that node on the aborter's
+// behalf.  Returns can therefore race (many releasers, one owner), so the
+// free list is a Treiber stack; pops are single-consumer (only the owner
+// allocates), which sidesteps ABA.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/align.hpp"
+
+namespace cohort {
+
+// Intrusive hook: pool-managed nodes embed a pool_node base.
+struct pool_node {
+  std::atomic<pool_node*> pool_next{nullptr};
+};
+
+// A single-owner pool with multi-producer returns.
+//
+// - acquire(): owner thread only.
+// - release(): any thread.
+// Nodes are heap-allocated on demand and owned (and eventually freed) by the
+// pool.
+// Node must derive from pool_node (checked where nodes are used; a concept
+// here would force completeness of Node at the point a node declares its
+// owning pool, which self-referential node types cannot satisfy).
+template <typename Node>
+class node_pool {
+ public:
+  node_pool() = default;
+  node_pool(const node_pool&) = delete;
+  node_pool& operator=(const node_pool&) = delete;
+
+  ~node_pool() {
+    for (auto& n : owned_) n.reset();
+  }
+
+  // Owner-only.  Pops from the shared free stack; allocates when empty.
+  Node* acquire() {
+    pool_node* head = free_.load(std::memory_order_acquire);
+    while (head != nullptr) {
+      pool_node* next = head->pool_next.load(std::memory_order_relaxed);
+      if (free_.compare_exchange_weak(head, next, std::memory_order_acquire,
+                                      std::memory_order_acquire)) {
+        head->pool_next.store(nullptr, std::memory_order_relaxed);
+        return static_cast<Node*>(head);
+      }
+    }
+    owned_.push_back(std::make_unique<Node>());
+    ++allocated_;
+    return owned_.back().get();
+  }
+
+  // Any thread.  Pushes the node back on the owner's free stack.
+  void release(Node* node) noexcept {
+    pool_node* head = free_.load(std::memory_order_relaxed);
+    do {
+      node->pool_next.store(head, std::memory_order_relaxed);
+    } while (!free_.compare_exchange_weak(head, node,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  // Total nodes ever allocated; a bounded value demonstrates that node
+  // circulation works (tests assert on it).
+  std::size_t allocated() const noexcept { return allocated_; }
+
+ private:
+  alignas(cache_line_size) std::atomic<pool_node*> free_{nullptr};
+  std::vector<std::unique_ptr<Node>> owned_;
+  std::size_t allocated_ = 0;
+};
+
+// This thread's process-lifetime pool for Node.
+//
+// The registry and the pools are deliberately leaked: queue-lock nodes may be
+// returned to a pool *after* the owning thread exited (e.g. a C-MCS-MCS
+// global node released by a cohort-mate, or an aborted CLH node reclaimed by
+// its successor), so pools must never be destroyed.  Total leakage is bounded
+// by (threads ever created) x (peak nodes per thread), a few cache lines per
+// thread in practice.
+template <typename Node>
+node_pool<Node>& thread_local_pool() {
+  static std::vector<node_pool<Node>*>* registry = [] {
+    return new std::vector<node_pool<Node>*>;
+  }();
+  static std::atomic<int> registry_guard{0};
+  thread_local node_pool<Node>* pool = [] {
+    auto* p = new node_pool<Node>;
+    // Tiny spin mutex: registration is rare (once per thread).
+    int expected = 0;
+    while (!registry_guard.compare_exchange_weak(expected, 1,
+                                                 std::memory_order_acquire,
+                                                 std::memory_order_relaxed))
+      expected = 0;
+    registry->push_back(p);
+    registry_guard.store(0, std::memory_order_release);
+    return p;
+  }();
+  return *pool;
+}
+
+}  // namespace cohort

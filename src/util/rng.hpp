@@ -1,0 +1,61 @@
+// Small deterministic PRNGs.
+//
+// Lock backoff and workload generation must not allocate or take locks, so
+// std::mt19937 (2.5 KB of state) is a poor fit; xorshift128+ and splitmix64
+// are the standard lightweight choices.  Everything seeded => every test and
+// every simulator run is reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace cohort {
+
+// splitmix64: used to expand a single seed into independent streams.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xorshift128+ : fast, passes BigCrush except linearity tests, fine for
+// backoff jitter and workload mixing.
+class xorshift {
+ public:
+  explicit constexpr xorshift(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    // Never allow the all-zero state.
+    std::uint64_t s = seed ? seed : 0x2545f4914f6cdd1dULL;
+    s0_ = splitmix64(s);
+    s1_ = splitmix64(s);
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, bound); bound == 0 yields 0.
+  constexpr std::uint64_t next_range(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible for
+    // the bounds used here (backoff windows, workload mixes).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace cohort

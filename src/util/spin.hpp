@@ -1,0 +1,55 @@
+// Spin-wait primitives.
+//
+// All spin loops in the library go through spin_wait so that the
+// pause/yield policy lives in one place.  On over-subscribed hosts (more
+// runnable threads than cores -- the common case for this repository's CI
+// machine) pure busy-waiting livelocks the holder off the CPU, so after a
+// bounded number of pauses the waiter starts yielding to the scheduler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace cohort {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Escalating waiter: pause a while, then yield, then sleep-yield.
+class spin_wait {
+ public:
+  void spin() noexcept {
+    if (count_ < pause_limit) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+    ++count_;
+  }
+
+  void reset() noexcept { count_ = 0; }
+  std::uint32_t count() const noexcept { return count_; }
+
+  static constexpr std::uint32_t pause_limit = 64;
+
+ private:
+  std::uint32_t count_ = 0;
+};
+
+// Spin until pred() becomes true.  pred must be cheap and must read the
+// watched location with at least acquire semantics itself.
+template <typename Pred>
+void spin_until(Pred&& pred) {
+  spin_wait w;
+  while (!pred()) w.spin();
+}
+
+}  // namespace cohort

@@ -1,0 +1,52 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cohort {
+
+summary summarize(const std::vector<double>& xs) {
+  running_stats rs;
+  for (double x : xs) rs.add(x);
+  return rs.finish();
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 100.0) return xs.back();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+summary running_stats::finish() const noexcept {
+  summary s;
+  s.count = n_;
+  s.mean = mean_;
+  s.stddev = n_ > 0 ? std::sqrt(m2_ / static_cast<double>(n_)) : 0.0;
+  s.min = min_;
+  s.max = max_;
+  return s;
+}
+
+std::uint64_t histogram::total() const noexcept {
+  std::uint64_t t = 0;
+  for (auto c : counts_) t += c;
+  return t;
+}
+
+double histogram::mean() const noexcept {
+  std::uint64_t t = 0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += static_cast<double>(i) * static_cast<double>(counts_[i]);
+    t += counts_[i];
+  }
+  return t == 0 ? 0.0 : acc / static_cast<double>(t);
+}
+
+}  // namespace cohort

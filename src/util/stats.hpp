@@ -1,0 +1,76 @@
+// Descriptive statistics used by the benchmark harness.
+//
+// Figure 5 reports the standard deviation of per-thread throughput as a
+// percentage of the mean; the harness also wants percentiles for batch-size
+// histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cohort {
+
+struct summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+
+  // Fig 5's metric: stddev as a percentage of the mean (0 when mean == 0).
+  double stddev_pct() const noexcept {
+    return mean == 0.0 ? 0.0 : 100.0 * stddev / mean;
+  }
+};
+
+summary summarize(const std::vector<double>& xs);
+
+// Linear-interpolated percentile, p in [0, 100].  Sorts a copy.
+double percentile(std::vector<double> xs, double p);
+
+// Streaming mean/variance (Welford) for counters that are too hot to buffer.
+class running_stats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  summary finish() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bucket histogram for batch lengths (bucket i counts values == i,
+// with one overflow bucket).
+class histogram {
+ public:
+  explicit histogram(std::size_t buckets) : counts_(buckets + 1, 0) {}
+
+  void add(std::uint64_t v) noexcept {
+    const std::size_t i =
+        v < counts_.size() - 1 ? static_cast<std::size_t>(v)
+                               : counts_.size() - 1;
+    ++counts_[i];
+  }
+
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  std::uint64_t total() const noexcept;
+  double mean() const noexcept;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace cohort

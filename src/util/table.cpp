@@ -1,0 +1,44 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace cohort {
+
+text_table::text_table(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void text_table::start_row() { rows_.emplace_back(); }
+
+void text_table::add(const std::string& cell) { rows_.back().push_back(cell); }
+
+void text_table::add(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  add(ss.str());
+}
+
+void text_table::add(std::uint64_t v) { add(std::to_string(v)); }
+
+void text_table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << cells[c];
+      os << (c + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace cohort

@@ -1,0 +1,36 @@
+// Plain-text table printing for the benchmark harness.
+//
+// Every bench binary prints rows shaped like the paper's figures/tables
+// (thread count in the first column, one column per lock).  Columns are
+// right-aligned and sized to fit so the output is diffable run-to-run.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cohort {
+
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> header);
+
+  // Begin a new row; subsequent add() calls fill its cells left to right.
+  void start_row();
+  void add(const std::string& cell);
+  void add(double v, int precision = 2);
+  void add(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cohort

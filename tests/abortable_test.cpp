@@ -1,0 +1,176 @@
+// Abortable lock tests (paper §3.6): timeouts fire, aborts never deadlock
+// the lock, and the viable-successor guarantee holds under churn.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "cohort/locks.hpp"
+#include "numa/topology.hpp"
+
+namespace cohort {
+namespace {
+
+using namespace std::chrono_literals;
+
+class AbortableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    numa::set_system_topology(numa::topology::synthetic(2));
+    numa::reset_round_robin_for_test();
+  }
+};
+
+TEST_F(AbortableTest, AclhTimesOutWhileHeld) {
+  aclh_lock lock;
+  aclh_lock::context holder;
+  lock.lock(holder);
+  std::thread waiter([&] {
+    aclh_lock::context ctx;
+    const auto t0 = lock_clock::now();
+    EXPECT_FALSE(lock.try_lock(ctx, deadline_after(5ms)));
+    EXPECT_GE(lock_clock::now() - t0, 4ms);
+    // After an abort the context must be reusable.
+    EXPECT_TRUE(lock.try_lock(ctx, deadline_never()));
+    lock.unlock(ctx);
+  });
+  std::this_thread::sleep_for(20ms);
+  lock.unlock(holder);
+  waiter.join();
+}
+
+template <typename Lock>
+void expect_timeout_then_acquire(Lock& lock) {
+  typename Lock::context holder;
+  ASSERT_TRUE(lock.try_lock(holder, deadline_never()));
+  std::atomic<bool> timed_out{false};
+  std::thread waiter([&] {
+    numa::set_thread_cluster(1);
+    typename Lock::context ctx;
+    timed_out = !lock.try_lock(ctx, deadline_after(5ms));
+    if (!timed_out) lock.unlock(ctx);
+  });
+  waiter.join();
+  EXPECT_TRUE(timed_out.load());
+  lock.unlock(holder);
+  // Lock must still be acquirable after the abort.
+  typename Lock::context again;
+  ASSERT_TRUE(lock.try_lock(again, deadline_after(100ms)));
+  lock.unlock(again);
+}
+
+TEST_F(AbortableTest, ACBoBoTimesOut) {
+  numa::set_thread_cluster(0);
+  a_c_bo_bo_lock lock;
+  expect_timeout_then_acquire(lock);
+  EXPECT_GE(lock.stats().local_timeouts + lock.stats().global_timeouts, 1u);
+}
+
+TEST_F(AbortableTest, ACBoClhTimesOut) {
+  numa::set_thread_cluster(0);
+  a_c_bo_clh_lock lock;
+  expect_timeout_then_acquire(lock);
+}
+
+// The §3.6 hazard: waiters abort after the releaser saw a non-empty cohort.
+// Hammer the lock with threads using tiny random patience and verify the
+// count is exact and the lock ends up free.
+template <typename Lock>
+void abort_storm(unsigned pass_limit) {
+  Lock lock{pass_policy{.limit = pass_limit}, 2};
+  std::atomic<long> acquired{0};
+  long counter = 0;
+  constexpr int kThreads = 6, kIters = 1200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      xorshift rng(static_cast<std::uint64_t>(t) + 17);
+      typename Lock::context ctx;
+      for (int i = 0; i < kIters; ++i) {
+        const auto patience =
+            std::chrono::microseconds(rng.next_range(60));
+        if (lock.try_lock(ctx, deadline_after(patience))) {
+          ++counter;
+          acquired.fetch_add(1, std::memory_order_relaxed);
+          lock.unlock(ctx);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, acquired.load());
+  const auto s = lock.stats();
+  EXPECT_EQ(s.acquisitions, static_cast<std::uint64_t>(acquired.load()));
+  // No deadlock: a fresh acquisition succeeds immediately.
+  typename Lock::context ctx;
+  ASSERT_TRUE(lock.try_lock(ctx, deadline_after(1s)));
+  lock.unlock(ctx);
+}
+
+TEST_F(AbortableTest, ACBoBoAbortStorm) { abort_storm<a_c_bo_bo_lock>(64); }
+TEST_F(AbortableTest, ACBoClhAbortStorm) { abort_storm<a_c_bo_clh_lock>(64); }
+TEST_F(AbortableTest, ACBoBoAbortStormTinyBatches) {
+  abort_storm<a_c_bo_bo_lock>(1);
+}
+TEST_F(AbortableTest, ACBoClhAbortStormTinyBatches) {
+  abort_storm<a_c_bo_clh_lock>(1);
+}
+
+TEST_F(AbortableTest, AclhAbortStorm) {
+  aclh_lock lock;
+  std::atomic<long> acquired{0};
+  long counter = 0;
+  constexpr int kThreads = 6, kIters = 1200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      xorshift rng(static_cast<std::uint64_t>(t) + 5);
+      aclh_lock::context ctx;
+      for (int i = 0; i < kIters; ++i) {
+        const auto patience =
+            std::chrono::microseconds(rng.next_range(60));
+        if (lock.try_lock(ctx, deadline_after(patience))) {
+          ++counter;
+          acquired.fetch_add(1, std::memory_order_relaxed);
+          lock.unlock(ctx);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, acquired.load());
+  aclh_lock::context ctx;
+  ASSERT_TRUE(lock.try_lock(ctx, deadline_after(1s)));
+  lock.unlock(ctx);
+}
+
+TEST_F(AbortableTest, HandoffFailureAccounting) {
+  // handoff_failures only ever happens on abortable locals, and every
+  // acquisition is still accounted exactly once.
+  numa::set_thread_cluster(0);
+  a_c_bo_clh_lock lock;
+  constexpr int kThreads = 6, kIters = 800;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      xorshift rng(static_cast<std::uint64_t>(t) + 99);
+      a_c_bo_clh_lock::context ctx;
+      for (int i = 0; i < kIters; ++i) {
+        const auto patience =
+            std::chrono::microseconds(rng.next_range(40) + 1);
+        if (lock.try_lock(ctx, deadline_after(patience))) lock.unlock(ctx);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = lock.stats();
+  EXPECT_EQ(s.global_acquires + s.local_handoffs + s.handoff_failures,
+            s.acquisitions);
+}
+
+}  // namespace
+}  // namespace cohort

@@ -1,0 +1,223 @@
+// Splay-tree and arena-allocator tests, including randomized property tests
+// over the heap invariants and a threaded stress under a cohort lock.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "alloc/arena.hpp"
+#include "locks/pthread_lock.hpp"
+#include "numa/topology.hpp"
+#include "util/rng.hpp"
+
+namespace cohortalloc {
+namespace {
+
+// ---- splay tree ----------------------------------------------------------------
+
+TEST(SplayTree, InsertFindRemove) {
+  splay_tree t;
+  splay_node a, b, c;
+  a.key = 10;
+  b.key = 20;
+  c.key = 30;
+  t.insert(&a);
+  t.insert(&b);
+  t.insert(&c);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(t.find_best_fit(15), &b);
+  EXPECT_EQ(t.root(), &b);  // best-fit splays to the root
+  EXPECT_EQ(t.find_best_fit(31), nullptr);
+  t.remove(&b);
+  EXPECT_EQ(t.find_best_fit(15), &c);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(SplayTree, InsertedNodeBecomesRoot) {
+  splay_tree t;
+  splay_node nodes[8];
+  for (int i = 0; i < 8; ++i) {
+    nodes[i].key = 64;  // all equal: the paper's single-size workload
+    t.insert(&nodes[i]);
+    EXPECT_EQ(t.root(), &nodes[i]);
+  }
+  // Most recently freed equal-sized block is found first (LIFO recycling).
+  EXPECT_EQ(t.find_best_fit(64), &nodes[7]);
+}
+
+TEST(SplayTree, RandomizedInvariantProperty) {
+  splay_tree t;
+  std::vector<splay_node> pool(256);
+  std::vector<splay_node*> in_tree;
+  cohort::xorshift rng(2026);
+  std::size_t free_top = 0;
+  for (int step = 0; step < 4000; ++step) {
+    const bool do_insert =
+        free_top < pool.size() && (in_tree.empty() || rng.next_range(2) == 0);
+    if (do_insert) {
+      splay_node* n = &pool[free_top++];
+      n->key = rng.next_range(512) + 16;
+      t.insert(n);
+      in_tree.push_back(n);
+    } else if (!in_tree.empty()) {
+      const std::size_t i = rng.next_range(in_tree.size());
+      t.remove(in_tree[i]);
+      in_tree[i] = in_tree.back();
+      in_tree.pop_back();
+    }
+    if (step % 64 == 0) ASSERT_TRUE(t.check_invariants()) << "step " << step;
+  }
+  EXPECT_EQ(t.size(), in_tree.size());
+}
+
+TEST(SplayTree, BestFitIsSmallestSufficient) {
+  splay_tree t;
+  splay_node n16, n32, n64, n128;
+  n16.key = 16;
+  n32.key = 32;
+  n64.key = 64;
+  n128.key = 128;
+  t.insert(&n64);
+  t.insert(&n16);
+  t.insert(&n128);
+  t.insert(&n32);
+  EXPECT_EQ(t.find_best_fit(17), &n32);
+  EXPECT_EQ(t.find_best_fit(33), &n64);
+  EXPECT_EQ(t.find_best_fit(128), &n128);
+  EXPECT_EQ(t.find_best_fit(1), &n16);
+}
+
+// ---- arena core -----------------------------------------------------------------
+
+TEST(ArenaCore, AllocateWritesDoNotOverlap) {
+  arena_core a(64 * 1024);
+  std::vector<char*> blocks;
+  for (int i = 0; i < 100; ++i) {
+    char* p = static_cast<char*>(a.allocate(64));
+    ASSERT_NE(p, nullptr);
+    std::memset(p, i, 64);
+    blocks.push_back(p);
+  }
+  for (int i = 0; i < 100; ++i)
+    for (int j = 0; j < 64; ++j)
+      ASSERT_EQ(blocks[i][j], static_cast<char>(i));
+  EXPECT_TRUE(a.check_heap());
+  for (char* p : blocks) a.deallocate(p);
+  EXPECT_TRUE(a.check_heap());
+}
+
+TEST(ArenaCore, FreeAllCoalescesToOneChunk) {
+  arena_core a(32 * 1024);
+  std::vector<void*> blocks;
+  for (int i = 0; i < 50; ++i) blocks.push_back(a.allocate(100));
+  for (void* p : blocks) a.deallocate(p);
+  EXPECT_EQ(a.stats().free_chunks, 1u);
+  EXPECT_EQ(a.stats().allocated_bytes, 0u);
+  EXPECT_GT(a.stats().coalesces, 0u);
+  EXPECT_TRUE(a.check_heap());
+  // The whole arena is reusable as one block again.
+  void* big = a.allocate(16 * 1024);
+  EXPECT_NE(big, nullptr);
+  a.deallocate(big);
+}
+
+TEST(ArenaCore, LifoRecyclingOfEqualSizes) {
+  arena_core a(64 * 1024);
+  // Spacers keep p1/p2 physically non-adjacent so freeing them cannot
+  // coalesce; both end up as equal-sized tree nodes.
+  void* p1 = a.allocate(64);
+  void* s1 = a.allocate(64);
+  void* p2 = a.allocate(64);
+  void* s2 = a.allocate(64);
+  a.deallocate(p1);
+  a.deallocate(p2);
+  // Most recently freed first: the paper's root-recycling behaviour.
+  void* q = a.allocate(64);
+  EXPECT_EQ(q, p2);
+  void* r = a.allocate(64);
+  EXPECT_EQ(r, p1);
+  a.deallocate(q);
+  a.deallocate(r);
+  a.deallocate(s1);
+  a.deallocate(s2);
+}
+
+TEST(ArenaCore, OutOfMemoryReturnsNull) {
+  arena_core a(4 * 1024);
+  EXPECT_EQ(a.allocate(1 << 20), nullptr);
+  EXPECT_EQ(a.stats().failures, 1u);
+  // Small allocations still work afterwards.
+  void* p = a.allocate(64);
+  EXPECT_NE(p, nullptr);
+  a.deallocate(p);
+}
+
+TEST(ArenaCore, RandomizedHeapInvariant) {
+  arena_core a(256 * 1024);
+  cohort::xorshift rng(7);
+  std::vector<std::pair<char*, std::pair<std::size_t, char>>> live;
+  for (int step = 0; step < 5000; ++step) {
+    if (live.empty() || rng.next_range(5) < 3) {
+      const std::size_t n = rng.next_range(400) + 1;
+      char* p = static_cast<char*>(a.allocate(n));
+      if (p != nullptr) {
+        const char tag = static_cast<char>(rng.next());
+        std::memset(p, tag, n);
+        live.push_back({p, {n, tag}});
+      }
+    } else {
+      const std::size_t i = rng.next_range(live.size());
+      auto [p, meta] = live[i];
+      for (std::size_t j = 0; j < meta.first; ++j)
+        ASSERT_EQ(p[j], meta.second) << "corruption at step " << step;
+      a.deallocate(p);
+      live[i] = live.back();
+      live.pop_back();
+    }
+    if (step % 256 == 0) ASSERT_TRUE(a.check_heap()) << "step " << step;
+  }
+  for (auto& [p, meta] : live) a.deallocate(p);
+  EXPECT_TRUE(a.check_heap());
+  EXPECT_EQ(a.stats().allocated_bytes, 0u);
+}
+
+// ---- locked arena ----------------------------------------------------------------
+
+TEST(Arena, ThreadedStressUnderCohortLock) {
+  cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
+  arena<cohort::c_tkt_tkt_lock> a(1 << 20);
+  constexpr int kThreads = 4, kIters = 1500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      cohort::numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      cohort::xorshift rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t n = rng.next_range(128) + 16;
+        char* p = static_cast<char*>(a.allocate(n));
+        ASSERT_NE(p, nullptr);
+        std::memset(p, t, n);
+        for (std::size_t j = 0; j < n; ++j) ASSERT_EQ(p[j], t);
+        a.deallocate(p);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = a.stats();
+  EXPECT_EQ(s.alloc_calls, static_cast<std::size_t>(kThreads) * kIters);
+  EXPECT_EQ(s.alloc_calls, s.free_calls);
+  EXPECT_EQ(s.allocated_bytes, 0u);
+}
+
+TEST(Arena, WorksWithPthreadBaselineLock) {
+  arena<cohort::pthread_lock> a(64 * 1024);
+  void* p = a.allocate(100);
+  ASSERT_NE(p, nullptr);
+  a.deallocate(p);
+  EXPECT_EQ(a.stats().allocated_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace cohortalloc

@@ -1,0 +1,164 @@
+// Behavioural tests of the cohort transformation itself: batching bounds,
+// statistics, policy knobs, per-cluster isolation.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "cohort/locks.hpp"
+#include "numa/topology.hpp"
+
+namespace cohort {
+namespace {
+
+class CohortLockTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    numa::set_system_topology(numa::topology::synthetic(2));
+    numa::reset_round_robin_for_test();
+  }
+};
+
+TEST_F(CohortLockTest, SoloAcquisitionsAreAllGlobal) {
+  numa::set_thread_cluster(0);
+  c_bo_mcs_lock lock;
+  for (int i = 0; i < 100; ++i) {
+    c_bo_mcs_lock::context ctx;
+    lock.lock(ctx);
+    lock.unlock(ctx);
+  }
+  const auto s = lock.stats();
+  EXPECT_EQ(s.acquisitions, 100u);
+  // Alone every time: no local handoffs, every acquire took the global lock.
+  EXPECT_EQ(s.local_handoffs, 0u);
+  EXPECT_EQ(s.global_acquires, 100u);
+  EXPECT_DOUBLE_EQ(s.avg_batch(), 1.0);
+}
+
+TEST_F(CohortLockTest, StatsAccountingConsistent) {
+  c_tkt_mcs_lock lock;
+  constexpr int kThreads = 4, kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      c_tkt_mcs_lock::context ctx;
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock(ctx);
+        lock.unlock(ctx);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = lock.stats();
+  EXPECT_EQ(s.acquisitions, static_cast<std::uint64_t>(kThreads) * kIters);
+  // Every acquisition either took the global lock or inherited it locally.
+  EXPECT_EQ(s.global_acquires + s.local_handoffs + s.handoff_failures,
+            s.acquisitions);
+  // Non-abortable locals never fail a handoff.
+  EXPECT_EQ(s.handoff_failures, 0u);
+}
+
+TEST_F(CohortLockTest, PassLimitBoundsAverageBatch) {
+  constexpr std::uint64_t kLimit = 8;
+  c_tkt_mcs_lock lock(pass_policy{.limit = kLimit}, /*clusters=*/2);
+  constexpr int kThreads = 4, kIters = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      c_tkt_mcs_lock::context ctx;
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock(ctx);
+        lock.unlock(ctx);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = lock.stats();
+  // A batch is one global acquire plus at most kLimit local handoffs.
+  EXPECT_LE(s.avg_batch(), static_cast<double>(kLimit) + 1.0);
+}
+
+TEST_F(CohortLockTest, PassLimitZeroDisablesLocalHandoff) {
+  c_bo_mcs_lock lock(pass_policy{.limit = 0}, /*clusters=*/2);
+  constexpr int kThreads = 4, kIters = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      c_bo_mcs_lock::context ctx;
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock(ctx);
+        lock.unlock(ctx);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = lock.stats();
+  EXPECT_EQ(s.local_handoffs, 0u);
+  EXPECT_EQ(s.global_acquires, s.acquisitions);
+}
+
+TEST_F(CohortLockTest, PerClusterStatsSumToTotal) {
+  c_tkt_tkt_lock lock(pass_policy{}, /*clusters=*/2);
+  constexpr int kThreads = 4, kIters = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      c_tkt_tkt_lock::context ctx;
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock(ctx);
+        lock.unlock(ctx);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto total = lock.stats();
+  std::uint64_t acq = 0;
+  for (unsigned c = 0; c < lock.clusters(); ++c)
+    acq += lock.cluster_stats(c).acquisitions;
+  EXPECT_EQ(acq, total.acquisitions);
+  lock.reset_stats();
+  EXPECT_EQ(lock.stats().acquisitions, 0u);
+}
+
+TEST_F(CohortLockTest, ClusterCountDefaultsToTopology) {
+  numa::set_system_topology(numa::topology::synthetic(3));
+  c_bo_bo_lock lock;
+  EXPECT_EQ(lock.clusters(), 3u);
+  c_bo_bo_lock fixed(pass_policy{}, 8);
+  EXPECT_EQ(fixed.clusters(), 8u);
+}
+
+// Parameterised sweep: the transformation must deliver mutual exclusion for
+// any pass limit.
+class PassLimitSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PassLimitSweep, MutualExclusionHolds) {
+  numa::set_system_topology(numa::topology::synthetic(2));
+  c_bo_mcs_lock lock(pass_policy{.limit = GetParam()}, 2);
+  long counter = 0;
+  constexpr int kThreads = 4, kIters = 800;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      c_bo_mcs_lock::context ctx;
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock(ctx);
+        ++counter;
+        lock.unlock(ctx);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, PassLimitSweep,
+                         ::testing::Values(0, 1, 2, 8, 64, unbounded_pass));
+
+}  // namespace
+}  // namespace cohort

@@ -1,0 +1,127 @@
+// Key-value store (memcached substitute) tests: hash/LRU correctness and a
+// concurrent stress under the cache lock.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "kvstore/kvstore.hpp"
+#include "numa/topology.hpp"
+
+namespace kvstore {
+namespace {
+
+TEST(Fnv1a, KnownVectors) {
+  // Reference values for FNV-1a 64-bit.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(KvStore, SetGetEraseRoundTrip) {
+  kv_store<> kv(64);
+  EXPECT_FALSE(kv.get("missing").has_value());
+  kv.set("k1", "v1");
+  kv.set("k2", "v2");
+  EXPECT_EQ(kv.get("k1").value(), "v1");
+  EXPECT_EQ(kv.get("k2").value(), "v2");
+  kv.set("k1", "v1b");  // overwrite
+  EXPECT_EQ(kv.get("k1").value(), "v1b");
+  EXPECT_EQ(kv.size(), 2u);
+  EXPECT_TRUE(kv.erase("k1"));
+  EXPECT_FALSE(kv.erase("k1"));
+  EXPECT_FALSE(kv.get("k1").has_value());
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvStore, StatsCountHitsAndMisses) {
+  kv_store<> kv(16);
+  kv.set("a", "1");
+  (void)kv.get("a");
+  (void)kv.get("b");
+  const auto s = kv.stats();
+  EXPECT_EQ(s.sets, 1u);
+  EXPECT_EQ(s.gets, 2u);
+  EXPECT_EQ(s.get_hits, 1u);
+}
+
+TEST(KvStore, LruEvictsOldest) {
+  kv_store<> kv(16, /*max_items=*/3);
+  kv.set("a", "1");
+  kv.set("b", "2");
+  kv.set("c", "3");
+  (void)kv.get("a");  // bump a: b is now the oldest
+  kv.set("d", "4");   // evicts b
+  EXPECT_TRUE(kv.get("a").has_value());
+  EXPECT_FALSE(kv.get("b").has_value());
+  EXPECT_TRUE(kv.get("c").has_value());
+  EXPECT_TRUE(kv.get("d").has_value());
+  EXPECT_EQ(kv.stats().evictions, 1u);
+  EXPECT_EQ(kv.size(), 3u);
+}
+
+TEST(KvStore, ManyKeysAcrossBuckets) {
+  kv_store<> kv(8);  // force chains
+  const auto keys = make_keyspace(500);
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    kv.set(keys[i], std::to_string(i));
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    EXPECT_EQ(kv.get(keys[i]).value(), std::to_string(i));
+  EXPECT_EQ(kv.size(), 500u);
+}
+
+TEST(KvStore, ConcurrentDisjointWriters) {
+  cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
+  kv_store<cohort::c_bo_mcs_lock> kv(256);
+  constexpr int kThreads = 4, kKeys = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&kv, t] {
+      cohort::numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      for (int i = 0; i < kKeys; ++i) {
+        const std::string key =
+            "t" + std::to_string(t) + "-" + std::to_string(i);
+        kv.set(key, key + "-value");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(kv.size(), static_cast<std::size_t>(kThreads) * kKeys);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kKeys; ++i) {
+      const std::string key = "t" + std::to_string(t) + "-" + std::to_string(i);
+      ASSERT_EQ(kv.get(key).value(), key + "-value");
+    }
+  }
+}
+
+TEST(KvStore, ConcurrentMixedWorkload) {
+  kv_store<cohort::c_tkt_tkt_lock> kv(256);
+  const auto keys = make_keyspace(200);
+  for (const auto& k : keys) kv.set(k, "init");
+  std::atomic<long> hits{0};
+  constexpr int kThreads = 4, kOps = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      cohort::xorshift rng(static_cast<std::uint64_t>(t) + 3);
+      for (int i = 0; i < kOps; ++i) {
+        const auto& key = keys[rng.next_range(keys.size())];
+        if (rng.next_range(10) < 9) {
+          if (kv.get(key).has_value())
+            hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          kv.set(key, "updated");
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Keys are never erased, so every get hits.
+  const auto s = kv.stats();
+  EXPECT_EQ(s.get_hits, s.gets);
+  EXPECT_EQ(static_cast<long>(s.get_hits), hits.load());
+}
+
+}  // namespace
+}  // namespace kvstore

@@ -1,0 +1,177 @@
+// Exhaustive configuration matrix over the simulated locks: every registry
+// lock is exercised at several thread counts, cluster counts and pass
+// limits, each configuration checking mutual exclusion and exact operation
+// accounting.  Parameterised so every configuration reports as its own test.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "sim/locks/registry.hpp"
+
+namespace sim {
+namespace {
+
+struct matrix_config {
+  std::string lock;
+  unsigned threads;
+  unsigned clusters;
+  std::uint64_t pass_limit;
+};
+
+void PrintTo(const matrix_config& c, std::ostream* os) {
+  *os << c.lock << "/t" << c.threads << "/c" << c.clusters << "/p"
+      << c.pass_limit;
+}
+
+struct check_state {
+  long counter = 0;
+  bool in_cs = false;
+  bool overlap = false;
+};
+
+template <typename Lock>
+task<void> worker(thread_ctx& t, Lock& lock, check_state& chk, int iters) {
+  typename Lock::context ctx(*t.eng);
+  for (int i = 0; i < iters; ++i) {
+    co_await do_lock(lock, t, ctx);
+    if (chk.in_cs) chk.overlap = true;
+    chk.in_cs = true;
+    co_await t.eng->delay(t.rng.next_range(60) + 1);
+    chk.in_cs = false;
+    ++chk.counter;
+    co_await do_unlock(lock, t, ctx);
+    co_await t.eng->delay(t.rng.next_range(300) + 1);
+  }
+}
+
+class LockMatrix : public ::testing::TestWithParam<matrix_config> {};
+
+TEST_P(LockMatrix, MutualExclusionAndAccounting) {
+  const auto& cfg = GetParam();
+  constexpr int kIters = 150;
+  check_state chk;
+  lock_params lp{cfg.clusters, cfg.pass_limit};
+  const bool known = with_lock_type(cfg.lock, lp, [&](auto factory) {
+    config machine;
+    machine.clusters = cfg.clusters;
+    engine eng(machine);
+    auto lock = factory(eng);
+    using lock_t = typename std::remove_reference_t<decltype(*lock)>;
+    for (unsigned i = 0; i < cfg.threads; ++i) {
+      thread_ctx& t = eng.add_thread(i % cfg.clusters);
+      eng.spawn(worker<lock_t>(t, *lock, chk, kIters));
+    }
+    eng.run(60'000'000'000ull);
+  });
+  ASSERT_TRUE(known) << cfg.lock;
+  EXPECT_FALSE(chk.overlap);
+  EXPECT_EQ(chk.counter, static_cast<long>(cfg.threads) * kIters);
+}
+
+std::vector<matrix_config> make_matrix() {
+  std::vector<matrix_config> configs;
+  for (const auto& lock : table1_lock_names()) {
+    for (unsigned threads : {3u, 17u}) {
+      configs.push_back({lock, threads, 4, 64});
+    }
+    // Odd cluster counts and degenerate pass limits for the cohort locks.
+    if (lock.rfind("C-", 0) == 0) {
+      configs.push_back({lock, 9, 3, 1});
+      configs.push_back({lock, 8, 2, ~std::uint64_t{0}});
+      configs.push_back({lock, 6, 1, 64});  // single cluster: degenerate NUMA
+    }
+  }
+  return configs;
+}
+
+std::string matrix_name(
+    const ::testing::TestParamInfo<matrix_config>& info) {
+  std::string name = info.param.lock + "_t" +
+                     std::to_string(info.param.threads) + "_c" +
+                     std::to_string(info.param.clusters) + "_p" +
+                     (info.param.pass_limit == ~std::uint64_t{0}
+                          ? std::string("inf")
+                          : std::to_string(info.param.pass_limit));
+  for (char& c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, LockMatrix,
+                         ::testing::ValuesIn(make_matrix()), matrix_name);
+
+// The same matrix idea for the abortable locks, with mixed patience so some
+// configurations abort heavily.
+struct abort_config {
+  std::string lock;
+  unsigned threads;
+  tick patience;
+};
+
+template <typename Lock>
+task<void> abort_worker(thread_ctx& t, Lock& lock, check_state& chk,
+                        int iters, tick patience) {
+  typename Lock::context ctx(*t.eng);
+  for (int i = 0; i < iters; ++i) {
+    const bool ok =
+        co_await do_try_lock(lock, t, ctx, t.eng->now() + patience);
+    if (ok) {
+      if (chk.in_cs) chk.overlap = true;
+      chk.in_cs = true;
+      co_await t.eng->delay(t.rng.next_range(60) + 1);
+      chk.in_cs = false;
+      ++chk.counter;
+      co_await do_unlock(lock, t, ctx);
+      ++t.ops;
+    } else {
+      ++t.aborts;
+    }
+    co_await t.eng->delay(t.rng.next_range(300) + 1);
+  }
+}
+
+class AbortMatrix
+    : public ::testing::TestWithParam<std::tuple<std::string, tick>> {};
+
+TEST_P(AbortMatrix, NeverDeadlocksOrOvercounts) {
+  const auto& [name, patience] = GetParam();
+  constexpr unsigned kThreads = 14;
+  constexpr int kIters = 150;
+  check_state chk;
+  std::uint64_t ops = 0, aborts = 0;
+  lock_params lp{4, 64};
+  const bool known = with_abortable_lock_type(name, lp, [&](auto factory) {
+    engine eng(config{});
+    auto lock = factory(eng);
+    using lock_t = typename std::remove_reference_t<decltype(*lock)>;
+    for (unsigned i = 0; i < kThreads; ++i) {
+      thread_ctx& t = eng.add_thread(i % 4);
+      eng.spawn(abort_worker<lock_t>(t, *lock, chk, kIters, patience));
+    }
+    eng.run(60'000'000'000ull);
+    for (std::size_t i = 0; i < eng.threads(); ++i) {
+      ops += eng.thread(i).ops;
+      aborts += eng.thread(i).aborts;
+    }
+  });
+  ASSERT_TRUE(known);
+  EXPECT_FALSE(chk.overlap);
+  EXPECT_EQ(ops + aborts, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(chk.counter, static_cast<long>(ops));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatienceSweep, AbortMatrix,
+    ::testing::Combine(::testing::ValuesIn(fig6_lock_names()),
+                       ::testing::Values<tick>(50, 700, 20'000, 400'000)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, tick>>& info) {
+      std::string name = std::get<0>(info.param) + "_p" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace sim

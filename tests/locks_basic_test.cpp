@@ -1,0 +1,240 @@
+// Mutual-exclusion and interface tests over every real lock type, via typed
+// test suites so each lock exercises an identical battery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "cohort/locks.hpp"
+#include "locks/fcmcs.hpp"
+#include "locks/hbo.hpp"
+#include "locks/hclh.hpp"
+#include "locks/pthread_lock.hpp"
+#include "numa/topology.hpp"
+
+namespace cohort {
+namespace {
+
+// The harness machine may have a single core; keep contention bounded.
+constexpr int kThreads = 4;
+constexpr int kIters = 1500;
+
+template <typename Lock>
+struct make_lock {
+  static Lock make() { return Lock{}; }
+};
+
+template <typename Lock>
+class BasicLockTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    numa::set_system_topology(numa::topology::synthetic(2));
+    numa::reset_round_robin_for_test();
+  }
+};
+
+using AllLocks =
+    ::testing::Types<bo_lock, fib_bo_lock, tas_spin_lock, ticket_lock,
+                     mcs_lock, clh_lock, aclh_lock, hbo_lock, hclh_lock,
+                     fc_mcs_lock, pthread_lock, park_lock, c_bo_bo_lock,
+                     c_tkt_tkt_lock, c_bo_mcs_lock, c_tkt_mcs_lock,
+                     c_mcs_mcs_lock, c_park_mcs_lock, a_c_bo_bo_lock,
+                     a_c_bo_clh_lock>;
+TYPED_TEST_SUITE(BasicLockTest, AllLocks);
+
+TYPED_TEST(BasicLockTest, SingleThreadLockUnlock) {
+  TypeParam lock;
+  for (int i = 0; i < 100; ++i) {
+    scoped<TypeParam> g(lock);
+  }
+}
+
+TYPED_TEST(BasicLockTest, MutualExclusionCounter) {
+  TypeParam lock;
+  long counter = 0;  // deliberately non-atomic: the lock must protect it
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> overlap{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t));
+      for (int i = 0; i < kIters; ++i) {
+        scoped<TypeParam> g(lock);
+        if (in_cs.fetch_add(1, std::memory_order_acq_rel) != 0)
+          overlap.store(true, std::memory_order_relaxed);
+        ++counter;
+        in_cs.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(overlap.load());
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TYPED_TEST(BasicLockTest, HandoffAcrossManyShortSections) {
+  // Rapid-fire handoffs with an empty critical section stress the release
+  // protocols (queue-lock tail races, cohort handoff edges).
+  TypeParam lock;
+  std::atomic<long> acquired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t));
+      for (int i = 0; i < kIters; ++i) {
+        scoped<TypeParam> g(lock);
+        acquired.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(acquired.load(), static_cast<long>(kThreads) * kIters);
+}
+
+// ---- lock-specific interface tests -------------------------------------------
+
+TEST(Tatas, TryLockSemantics) {
+  bo_lock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_TRUE(lock.is_locked());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST(Tatas, TryLockDeadlineExpires) {
+  bo_lock lock;
+  lock.lock();
+  const auto t0 = lock_clock::now();
+  EXPECT_FALSE(lock.try_lock(deadline_after(std::chrono::milliseconds(5))));
+  EXPECT_GE(lock_clock::now() - t0, std::chrono::milliseconds(4));
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock(deadline_after(std::chrono::milliseconds(5))));
+  lock.unlock();
+}
+
+TEST(Ticket, ThreadObliviousUnlock) {
+  // The defining property for a cohort global lock: lock on one thread,
+  // unlock on another.
+  ticket_lock lock;
+  lock.lock();
+  std::thread([&lock] { lock.unlock(); }).join();
+  EXPECT_FALSE(lock.is_locked());
+  lock.lock();
+  lock.unlock();
+}
+
+TEST(Tatas, ThreadObliviousUnlock) {
+  tas_spin_lock lock;
+  lock.lock();
+  std::thread([&lock] { lock.unlock(); }).join();
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST(Park, ThreadObliviousUnlockAndWake) {
+  // The futex word protocol allows a different thread to release, which is
+  // what qualifies park_lock as a cohort global lock.
+  park_lock lock;
+  lock.lock();
+  std::thread([&lock] { lock.unlock(); }).join();
+  EXPECT_FALSE(lock.is_locked());
+  // A parked waiter is woken by the (foreign) releaser.
+  lock.lock();
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    lock.lock();
+    got = true;
+    lock.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  lock.unlock();
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(Park, TryLockSemantics) {
+  park_lock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(ObliviousMcs, UnlockFromOtherThread) {
+  oblivious_mcs_lock lock;
+  lock.lock();
+  std::thread([&lock] { lock.unlock(); }).join();
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST(ObliviousMcs, NodeCirculationStaysBounded) {
+  oblivious_mcs_lock lock;
+  for (int i = 0; i < 1000; ++i) {
+    lock.lock();
+    lock.unlock();
+  }
+  // Uncontended same-thread usage must recycle a single node.
+  EXPECT_LE(oblivious_mcs_lock::nodes_allocated_this_thread(), 4u);
+}
+
+TEST(Hbo, WordHoldsClusterAndFrees) {
+  numa::set_system_topology(numa::topology::synthetic(4));
+  numa::set_thread_cluster(1);
+  hbo_lock lock(hbo_microbench_tuning());
+  lock.lock();
+  EXPECT_TRUE(lock.is_locked());
+  lock.unlock();
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST(Hbo, TryLockTimesOutWhileHeld) {
+  hbo_lock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock(deadline_after(std::chrono::milliseconds(2))));
+  lock.unlock();
+}
+
+TEST(CohortMcs, EmptyQueueAcquisitionIsGlobal) {
+  cohort_mcs_lock lock;
+  cohort_mcs_lock::context ctx;
+  EXPECT_EQ(lock.lock(ctx), release_kind::global);
+  EXPECT_TRUE(lock.alone(ctx));
+  lock.release_global(ctx);
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST(CohortTicket, TopGrantedHandoff) {
+  cohort_ticket_lock lock;
+  cohort_ticket_lock::context a, b;
+  EXPECT_EQ(lock.lock(a), release_kind::global);
+  std::thread waiter([&] {
+    cohort_ticket_lock::context c;
+    // Inherits the (conceptual) global lock through top-granted.
+    EXPECT_EQ(lock.lock(c), release_kind::local);
+    lock.release_global(c);
+  });
+  // Wait until the waiter has queued, then hand off locally.
+  spin_until([&] { return !lock.alone(a); });
+  EXPECT_TRUE(lock.release_local(a));
+  waiter.join();
+  (void)b;
+}
+
+TEST(CohortBo, ReleaseStatesRoundTrip) {
+  cohort_bo_lock<exp_backoff> lock;
+  empty_context ctx;
+  EXPECT_EQ(lock.lock(ctx), release_kind::global);
+  EXPECT_TRUE(lock.release_local(ctx));  // non-abortable never fails
+  // The local release leaves the lock acquirable in LOCAL state.
+  EXPECT_EQ(lock.lock(ctx), release_kind::local);
+  lock.release_global(ctx);
+  EXPECT_EQ(lock.lock(ctx), release_kind::global);
+  lock.release_global(ctx);
+}
+
+}  // namespace
+}  // namespace cohort

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "numa/topology.hpp"
+
+namespace cohort::numa {
+namespace {
+
+TEST(Cpulist, ParsesRangesAndSingles) {
+  EXPECT_EQ(topology::parse_cpulist("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(topology::parse_cpulist("5"), (std::vector<int>{5}));
+  EXPECT_EQ(topology::parse_cpulist("0-1,4,6-7"),
+            (std::vector<int>{0, 1, 4, 6, 7}));
+  EXPECT_EQ(topology::parse_cpulist(""), (std::vector<int>{}));
+  EXPECT_EQ(topology::parse_cpulist("2,3\n"), (std::vector<int>{2, 3}));
+}
+
+TEST(Topology, DiscoverIsNonEmpty) {
+  const topology t = topology::discover();
+  EXPECT_GE(t.clusters(), 1u);
+  std::size_t cpus = 0;
+  for (const auto& c : t.cpus) cpus += c.size();
+  EXPECT_GE(cpus, 1u);
+}
+
+TEST(Topology, SyntheticHasRequestedClusters) {
+  EXPECT_EQ(topology::synthetic(4).clusters(), 4u);
+  EXPECT_EQ(topology::synthetic(0).clusters(), 1u);  // clamped
+}
+
+TEST(ThreadCluster, ExplicitAssignmentWrapsModuloClusters) {
+  set_system_topology(topology::synthetic(4));
+  set_thread_cluster(2);
+  EXPECT_EQ(thread_cluster(), 2u);
+  set_thread_cluster(7);
+  EXPECT_EQ(thread_cluster(), 3u);
+}
+
+TEST(ThreadCluster, RoundRobinSpreadsThreads) {
+  set_system_topology(topology::synthetic(2));
+  reset_round_robin_for_test();
+  std::vector<unsigned> clusters(4);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&clusters, i] { clusters[i] = thread_cluster(); });
+    threads.back().join();
+  }
+  // 4 fresh threads over 2 clusters round-robin: two per cluster.
+  const int c0 = static_cast<int>(
+      std::count(clusters.begin(), clusters.end(), 0u));
+  EXPECT_EQ(c0, 2);
+}
+
+TEST(ThreadCluster, PinRecordsClusterEvenWithoutCpus) {
+  const topology t = topology::synthetic(3);
+  set_system_topology(t);
+  // Synthetic topologies carry no CPU lists, so pinning fails but the
+  // cluster id is still recorded.
+  EXPECT_FALSE(pin_thread_to_cluster(t, 2));
+  EXPECT_EQ(thread_cluster(), 2u);
+}
+
+TEST(ThreadCluster, PinToRealTopology) {
+  const topology t = topology::discover();
+  set_system_topology(t);
+  if (!t.cpus.empty() && !t.cpus[0].empty()) {
+    EXPECT_TRUE(pin_thread_to_cluster(t, 0));
+    EXPECT_EQ(thread_cluster(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cohort::numa

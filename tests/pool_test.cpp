@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/pool.hpp"
+
+namespace cohort {
+namespace {
+
+struct test_node : pool_node {
+  int payload = 0;
+};
+
+TEST(NodePool, AcquireAllocatesThenReuses) {
+  node_pool<test_node> pool;
+  test_node* a = pool.acquire();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(pool.allocated(), 1u);
+  pool.release(a);
+  test_node* b = pool.acquire();
+  EXPECT_EQ(b, a);  // LIFO reuse
+  EXPECT_EQ(pool.allocated(), 1u);
+}
+
+TEST(NodePool, DistinctNodesWhileOutstanding) {
+  node_pool<test_node> pool;
+  test_node* a = pool.acquire();
+  test_node* b = pool.acquire();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.allocated(), 2u);
+  pool.release(a);
+  pool.release(b);
+}
+
+TEST(NodePool, MultiProducerReturns) {
+  node_pool<test_node> pool;
+  constexpr int per_thread = 200;
+  // Owner hands out nodes; 4 foreign threads return them concurrently.
+  std::vector<test_node*> nodes;
+  for (int i = 0; i < 4 * per_thread; ++i) nodes.push_back(pool.acquire());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool, &nodes, t] {
+      for (int i = 0; i < per_thread; ++i)
+        pool.release(nodes[t * per_thread + i]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  // All returned; the owner can now reuse without new allocation.
+  const std::size_t before = pool.allocated();
+  for (int i = 0; i < 4 * per_thread; ++i) pool.acquire();
+  EXPECT_EQ(pool.allocated(), before);
+}
+
+TEST(NodePool, BoundedAllocationUnderChurn) {
+  node_pool<test_node> pool;
+  for (int round = 0; round < 1000; ++round) {
+    test_node* n = pool.acquire();
+    pool.release(n);
+  }
+  EXPECT_EQ(pool.allocated(), 1u);
+}
+
+TEST(ThreadLocalPool, StablePerThread) {
+  auto& a = thread_local_pool<test_node>();
+  auto& b = thread_local_pool<test_node>();
+  EXPECT_EQ(&a, &b);
+  node_pool<test_node>* other = nullptr;
+  std::thread([&other] { other = &thread_local_pool<test_node>(); }).join();
+  EXPECT_NE(other, &a);
+}
+
+}  // namespace
+}  // namespace cohort

@@ -1,0 +1,164 @@
+// Workload-level tests: lbench / kvsim / mallocsim sanity, determinism, and
+// the headline ordering properties the paper's figures rest on.
+#include <gtest/gtest.h>
+
+#include "sim/apps/kvsim.hpp"
+#include "sim/apps/lbench.hpp"
+#include "sim/apps/mallocsim.hpp"
+#include "sim/locks/registry.hpp"
+
+namespace sim {
+namespace {
+
+lbench_params quick_lbench(unsigned threads) {
+  lbench_params p;
+  p.threads = threads;
+  p.warmup_ns = 100'000;
+  p.duration_ns = 1'000'000;
+  return p;
+}
+
+class LbenchLocks : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LbenchLocks, ProducesThroughputAndSaneCounters) {
+  const auto r = run_lbench(GetParam(), quick_lbench(16));
+  EXPECT_GT(r.throughput_per_sec, 0.0);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GE(r.l2_misses_per_cs, 0.0);
+  EXPECT_LE(r.migrations_per_cs, 1.0);
+  EXPECT_EQ(r.per_thread_ops.size(), 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig2, LbenchLocks,
+                         ::testing::ValuesIn(fig2_lock_names()));
+
+TEST(Lbench, UnknownLockIsReported) {
+  EXPECT_LT(run_lbench("no-such-lock", quick_lbench(2)).throughput_per_sec,
+            0.0);
+  EXPECT_LT(run_lbench_abortable("MCS", quick_lbench(2)).throughput_per_sec,
+            0.0);  // MCS is not in the abortable registry
+}
+
+TEST(Lbench, DeterministicRuns) {
+  const auto a = run_lbench("C-BO-MCS", quick_lbench(32));
+  const auto b = run_lbench("C-BO-MCS", quick_lbench(32));
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_DOUBLE_EQ(a.l2_misses_per_cs, b.l2_misses_per_cs);
+}
+
+TEST(Lbench, CohortMigratesLessThanMcs) {
+  // The paper's core claim, as a property: at high contention cohort locks
+  // migrate across clusters far less often than MCS.
+  const auto mcs = run_lbench("MCS", quick_lbench(32));
+  const auto cohort = run_lbench("C-TKT-MCS", quick_lbench(32));
+  EXPECT_LT(cohort.migrations_per_cs * 4, mcs.migrations_per_cs);
+  EXPECT_LT(cohort.l2_misses_per_cs * 2, mcs.l2_misses_per_cs);
+}
+
+TEST(Lbench, BatchRespectsPassLimit) {
+  auto p = quick_lbench(32);
+  p.pass_limit = 4;
+  const auto r = run_lbench("C-BO-MCS", p);
+  EXPECT_LE(r.avg_batch, 5.0 + 1e-9);
+}
+
+TEST(Lbench, UnboundedCohortOutscalesBounded) {
+  // §4.1.1: removing the handoff bound buys ~10% throughput at high load
+  // (at the cost of gross unfairness).
+  auto bounded = quick_lbench(64);
+  auto unbounded = quick_lbench(64);
+  unbounded.pass_limit = ~std::uint64_t{0};
+  const auto rb = run_lbench("C-TKT-MCS", bounded);
+  const auto ru = run_lbench("C-TKT-MCS", unbounded);
+  EXPECT_GE(ru.throughput_per_sec, rb.throughput_per_sec * 0.99);
+}
+
+TEST(LbenchAbortable, AbortRatesAreLowAtModeratePatience) {
+  auto p = quick_lbench(32);
+  p.patience_ns = 400'000;
+  for (const auto& name : fig6_lock_names()) {
+    const auto r = run_lbench_abortable(name, p);
+    EXPECT_GT(r.total_ops, 0u) << name;
+    EXPECT_LT(r.abort_rate, 0.25) << name;
+  }
+}
+
+TEST(LbenchAbortable, TinyPatienceProducesAborts) {
+  auto p = quick_lbench(32);
+  p.patience_ns = 300;
+  const auto r = run_lbench_abortable("A-CLH", p);
+  EXPECT_GT(r.abort_rate, 0.0);
+}
+
+// ---- kvsim -------------------------------------------------------------------
+
+kv_params quick_kv(unsigned threads, double get_ratio) {
+  kv_params p;
+  p.threads = threads;
+  p.get_ratio = get_ratio;
+  p.warmup_ns = 100'000;
+  p.duration_ns = 2'000'000;
+  return p;
+}
+
+TEST(KvSim, RunsForAllTable1Locks) {
+  for (const auto& name : table1_lock_names()) {
+    const auto r = run_kv(name, quick_kv(8, 0.5));
+    EXPECT_GT(r.ops_per_sec, 0.0) << name;
+  }
+}
+
+TEST(KvSim, WriteHeavyFavoursNumaAwareLocks) {
+  const auto mcs = run_kv("MCS", quick_kv(32, 0.1));
+  const auto cohort = run_kv("C-TKT-MCS", quick_kv(32, 0.1));
+  EXPECT_GT(cohort.ops_per_sec, mcs.ops_per_sec);
+}
+
+TEST(KvSim, ReadHeavyNarrowsTheGap) {
+  const auto mcs = run_kv("MCS", quick_kv(32, 0.9));
+  const auto cohort = run_kv("C-TKT-MCS", quick_kv(32, 0.9));
+  const auto mcs_w = run_kv("MCS", quick_kv(32, 0.1));
+  const auto cohort_w = run_kv("C-TKT-MCS", quick_kv(32, 0.1));
+  const double read_gap = cohort.ops_per_sec / mcs.ops_per_sec;
+  const double write_gap = cohort_w.ops_per_sec / mcs_w.ops_per_sec;
+  EXPECT_GT(write_gap, read_gap * 0.98);
+}
+
+TEST(KvSim, Deterministic) {
+  const auto a = run_kv("C-BO-MCS", quick_kv(16, 0.5));
+  const auto b = run_kv("C-BO-MCS", quick_kv(16, 0.5));
+  EXPECT_EQ(a.total_ops, b.total_ops);
+}
+
+// ---- mallocsim ----------------------------------------------------------------
+
+malloc_params quick_malloc(unsigned threads) {
+  malloc_params p;
+  p.threads = threads;
+  p.warmup_ns = 100'000;
+  p.duration_ns = 2'000'000;
+  return p;
+}
+
+TEST(MallocSim, RunsForAllTable2Locks) {
+  for (const auto& name : table2_lock_names()) {
+    const auto r = run_malloc(name, quick_malloc(8));
+    EXPECT_GT(r.pairs_per_ms, 0.0) << name;
+  }
+}
+
+TEST(MallocSim, CohortRecyclesBlocksLocally) {
+  const auto mcs = run_malloc("MCS", quick_malloc(32));
+  const auto cohort = run_malloc("C-BO-MCS", quick_malloc(32));
+  EXPECT_GT(cohort.pairs_per_ms, mcs.pairs_per_ms);
+  EXPECT_LT(cohort.l2_misses_per_pair, mcs.l2_misses_per_pair);
+}
+
+TEST(MallocSim, Deterministic) {
+  const auto a = run_malloc("C-TKT-TKT", quick_malloc(16));
+  const auto b = run_malloc("C-TKT-TKT", quick_malloc(16));
+  EXPECT_EQ(a.total_pairs, b.total_pairs);
+}
+
+}  // namespace
+}  // namespace sim

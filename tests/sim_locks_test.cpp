@@ -1,0 +1,154 @@
+// Mutual exclusion and protocol checks for every simulated lock, run inside
+// the deterministic engine.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "sim/locks/registry.hpp"
+
+namespace sim {
+namespace {
+
+struct mutex_check {
+  long counter = 0;
+  bool in_cs = false;
+  bool overlap = false;
+};
+
+template <typename Lock>
+task<void> mutex_worker(thread_ctx& t, Lock& lock, mutex_check& chk,
+                        int iters) {
+  typename Lock::context ctx(*t.eng);
+  for (int i = 0; i < iters; ++i) {
+    co_await do_lock(lock, t, ctx);
+    if (chk.in_cs) chk.overlap = true;
+    chk.in_cs = true;
+    co_await t.eng->delay(t.rng.next_range(40) + 1);
+    chk.in_cs = false;
+    ++chk.counter;
+    co_await do_unlock(lock, t, ctx);
+    co_await t.eng->delay(t.rng.next_range(200) + 1);
+  }
+}
+
+template <typename Lock>
+task<void> abortable_worker(thread_ctx& t, Lock& lock, mutex_check& chk,
+                            int iters) {
+  typename Lock::context ctx(*t.eng);
+  for (int i = 0; i < iters; ++i) {
+    const tick patience = t.eng->now() + t.rng.next_range(3000) + 50;
+    const bool ok = co_await do_try_lock(lock, t, ctx, patience);
+    if (ok) {
+      if (chk.in_cs) chk.overlap = true;
+      chk.in_cs = true;
+      co_await t.eng->delay(t.rng.next_range(40) + 1);
+      chk.in_cs = false;
+      ++chk.counter;
+      co_await do_unlock(lock, t, ctx);
+      ++t.ops;
+    } else {
+      ++t.aborts;
+    }
+    co_await t.eng->delay(t.rng.next_range(200) + 1);
+  }
+}
+
+class SimLockMutex : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SimLockMutex, MutualExclusion) {
+  constexpr unsigned kThreads = 12;
+  constexpr int kIters = 400;
+  mutex_check chk;
+  lock_params lp{4, 64};
+  bool known = with_lock_type(GetParam(), lp, [&](auto factory) {
+    engine eng(config{});
+    auto lock = factory(eng);
+    using lock_t = typename std::remove_reference_t<decltype(*lock)>;
+    for (unsigned i = 0; i < kThreads; ++i) {
+      thread_ctx& t = eng.add_thread(i % 4);
+      eng.spawn(mutex_worker<lock_t>(t, *lock, chk, kIters));
+    }
+    eng.run(30'000'000'000ull);
+  });
+  ASSERT_TRUE(known);
+  EXPECT_FALSE(chk.overlap);
+  EXPECT_EQ(chk.counter, static_cast<long>(kThreads) * kIters);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocks, SimLockMutex,
+                         ::testing::ValuesIn(table1_lock_names()));
+
+class SimAbortableMutex : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SimAbortableMutex, MutualExclusionWithAborts) {
+  constexpr unsigned kThreads = 12;
+  constexpr int kIters = 400;
+  mutex_check chk;
+  std::uint64_t ops = 0, aborts = 0;
+  lock_params lp{4, 64};
+  bool known = with_abortable_lock_type(GetParam(), lp, [&](auto factory) {
+    engine eng(config{});
+    auto lock = factory(eng);
+    using lock_t = typename std::remove_reference_t<decltype(*lock)>;
+    for (unsigned i = 0; i < kThreads; ++i) {
+      thread_ctx& t = eng.add_thread(i % 4);
+      eng.spawn(abortable_worker<lock_t>(t, *lock, chk, kIters));
+    }
+    eng.run(30'000'000'000ull);
+    for (std::size_t i = 0; i < eng.threads(); ++i) {
+      ops += eng.thread(i).ops;
+      aborts += eng.thread(i).aborts;
+    }
+  });
+  ASSERT_TRUE(known);
+  EXPECT_FALSE(chk.overlap);
+  // Every attempt either succeeded (counted) or aborted.
+  EXPECT_EQ(ops + aborts, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(chk.counter, static_cast<long>(ops));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAbortable, SimAbortableMutex,
+                         ::testing::ValuesIn(fig6_lock_names()));
+
+// Cohort-specific: the sim transform keeps exact accounting, and batches
+// respect the pass limit.
+TEST(SimCohort, StatsAndBatchBound) {
+  engine eng(config{});
+  s_c_tkt_mcs_lock lock(eng, 4, /*pass_limit=*/8);
+  mutex_check chk;
+  for (unsigned i = 0; i < 16; ++i) {
+    thread_ctx& t = eng.add_thread(i % 4);
+    eng.spawn(mutex_worker<s_c_tkt_mcs_lock>(t, lock, chk, 300));
+  }
+  eng.run(30'000'000'000ull);
+  const auto s = lock.stats();
+  EXPECT_EQ(s.acquisitions, 16u * 300u);
+  EXPECT_EQ(s.global_acquires + s.local_handoffs + s.handoff_failures,
+            s.acquisitions);
+  EXPECT_LE(static_cast<double>(s.acquisitions) /
+                static_cast<double>(s.global_acquires),
+            9.0);  // batch <= limit + 1
+}
+
+TEST(SimCohort, SingleClusterNeverReleasesGlobalUnderLimit) {
+  // With all threads in one cluster and an unbounded pass limit, the global
+  // lock is taken exactly once.
+  engine eng(config{});
+  s_c_bo_mcs_lock lock(eng, 4, ~std::uint64_t{0});
+  mutex_check chk;
+  for (unsigned i = 0; i < 6; ++i) {
+    thread_ctx& t = eng.add_thread(0);
+    eng.spawn(mutex_worker<s_c_bo_mcs_lock>(t, lock, chk, 200));
+  }
+  eng.run(30'000'000'000ull);
+  EXPECT_FALSE(chk.overlap);
+  const auto s = lock.stats();
+  EXPECT_EQ(s.acquisitions, 6u * 200u);
+  // The queue occasionally drains (alone() true) and the global lock is
+  // re-acquired, but handoffs dominate overwhelmingly.
+  EXPECT_GT(s.local_handoffs * 10, s.acquisitions * 8);
+}
+
+}  // namespace
+}  // namespace sim

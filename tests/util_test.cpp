@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/align.hpp"
+#include "util/backoff.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace cohort {
+namespace {
+
+// ---- align ------------------------------------------------------------------
+
+TEST(Align, PaddedIsLineMultipleAndAligned) {
+  EXPECT_EQ(sizeof(padded<int>), cache_line_size);
+  EXPECT_EQ(alignof(padded<int>), cache_line_size);
+  struct big {
+    char data[cache_line_size + 1];
+  };
+  EXPECT_EQ(sizeof(padded<big>) % cache_line_size, 0u);
+}
+
+TEST(Align, PaddedArrayElementsOnDistinctLines) {
+  padded<int> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    auto a = reinterpret_cast<std::uintptr_t>(&arr[i].get());
+    auto b = reinterpret_cast<std::uintptr_t>(&arr[i + 1].get());
+    EXPECT_GE(b - a, cache_line_size);
+  }
+}
+
+TEST(Align, PaddedAccessors) {
+  padded<int> p(42);
+  EXPECT_EQ(p.get(), 42);
+  *p = 7;
+  EXPECT_EQ(p.get(), 7);
+}
+
+// ---- rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  xorshift a(123), b(123), c(456);
+  bool all_equal = true, any_diff = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a.next();
+    all_equal &= (va == b.next());
+    any_diff |= (va != c.next());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, RangeBounds) {
+  xorshift r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_range(17), 17u);
+  }
+  EXPECT_EQ(r.next_range(0), 0u);
+  EXPECT_EQ(r.next_range(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  xorshift r(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ZeroSeedStillProducesValues) {
+  xorshift r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next());
+  EXPECT_GT(seen.size(), 90u);
+}
+
+// ---- backoff ----------------------------------------------------------------
+
+TEST(Backoff, ExpWindowGrowsAndCaps) {
+  exp_backoff bo({.min_spins = 4, .max_spins = 64, .multiplier = 2});
+  xorshift r(1);
+  EXPECT_EQ(bo.window(), 4u);
+  for (int i = 0; i < 10; ++i) bo.pause(r);
+  EXPECT_EQ(bo.window(), 64u);
+  bo.reset();
+  EXPECT_EQ(bo.window(), 4u);
+}
+
+TEST(Backoff, FibWindowFollowsFibonacci) {
+  fib_backoff bo({.min_spins = 8, .max_spins = 1000});
+  xorshift r(1);
+  EXPECT_EQ(bo.window(), 8u);
+  bo.pause(r);  // 8 -> 8 (0+8)
+  EXPECT_EQ(bo.window(), 8u);
+  bo.pause(r);  // -> 16
+  EXPECT_EQ(bo.window(), 16u);
+  bo.pause(r);  // -> 24
+  EXPECT_EQ(bo.window(), 24u);
+  bo.pause(r);  // -> 40
+  EXPECT_EQ(bo.window(), 40u);
+  for (int i = 0; i < 20; ++i) bo.pause(r);
+  EXPECT_EQ(bo.window(), 1000u);
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(Stats, SummarizeBasics) {
+  const auto s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic population-stddev example
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.stddev_pct(), 40.0);
+}
+
+TEST(Stats, SummarizeEmptyAndZeroMean) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.stddev_pct(), 0.0);
+  const auto z = summarize({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(z.stddev_pct(), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow) {
+  histogram h(4);
+  h.add(0);
+  h.add(1);
+  h.add(1);
+  h.add(100);  // overflow bucket
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Stats, WelfordMatchesBatch) {
+  running_stats rs;
+  std::vector<double> xs;
+  xorshift r(5);
+  for (int i = 0; i < 500; ++i) {
+    const double x = static_cast<double>(r.next_range(1000));
+    rs.add(x);
+    xs.push_back(x);
+  }
+  const auto a = rs.finish();
+  const auto b = summarize(xs);
+  EXPECT_NEAR(a.mean, b.mean, 1e-9);
+  EXPECT_NEAR(a.stddev, b.stddev, 1e-9);
+}
+
+// ---- table ------------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  text_table t({"name", "value"});
+  t.start_row();
+  t.add("x");
+  t.add(3.14159, 2);
+  t.start_row();
+  t.add("longer");
+  t.add(std::uint64_t{7});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("  name  value"), std::string::npos);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.row(1).at(0), "longer");
+}
+
+}  // namespace
+}  // namespace cohort
