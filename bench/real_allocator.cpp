@@ -1,33 +1,37 @@
 // Real-machine allocator benchmark (google-benchmark): mmicro's
 // allocate/initialise/free loop against the real single-lock splay-tree
-// arena, comparing lock types (the Table 2 code path executed for real).
+// arena, with the lock dispatched by registry name (the Table 2 code path
+// executed for real).
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <memory>
+#include <string>
 
 #include "alloc/arena.hpp"
-#include "locks/pthread_lock.hpp"
+#include "locks/registry.hpp"
 #include "numa/topology.hpp"
-#include "util/rng.hpp"
 
 namespace {
 
 template <typename Lock>
-void bench_mmicro(benchmark::State& state) {
-  static cohortalloc::arena<Lock>* arena = nullptr;
-  if (state.thread_index() == 0) {
-    cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
-    delete arena;
-    arena = new cohortalloc::arena<Lock>(16u << 20);
-  }
+struct arena_fixture {
+  std::unique_ptr<cohortalloc::arena<Lock>> arena;
+};
+
+template <typename Lock>
+void bench_mmicro(benchmark::State& state,
+                  std::shared_ptr<arena_fixture<Lock>> fix) {
+  if (state.thread_index() == 0)
+    fix->arena = std::make_unique<cohortalloc::arena<Lock>>(16u << 20);
   cohort::numa::set_thread_cluster(
       static_cast<unsigned>(state.thread_index()));
   for (auto _ : state) {
-    void* p = arena->allocate(64);
+    void* p = fix->arena->allocate(64);
     if (p != nullptr) {
       // mmicro writes the first four words of every block.
       std::memset(p, 0xab, 32);
-      arena->deallocate(p);
+      fix->arena->deallocate(p);
     }
   }
   state.SetItemsProcessed(state.iterations());
@@ -35,13 +39,25 @@ void bench_mmicro(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK_TEMPLATE(bench_mmicro, cohort::pthread_lock)->Threads(1)->Threads(4);
-BENCHMARK_TEMPLATE(bench_mmicro, cohort::mcs_lock)->Threads(1)->Threads(4);
-BENCHMARK_TEMPLATE(bench_mmicro, cohort::c_tkt_tkt_lock)
-    ->Threads(1)
-    ->Threads(4);
-BENCHMARK_TEMPLATE(bench_mmicro, cohort::c_bo_mcs_lock)
-    ->Threads(1)
-    ->Threads(4);
+int main(int argc, char** argv) {
+  cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
 
-BENCHMARK_MAIN();
+  for (const auto& name : cohort::reg::table_lock_names()) {
+    // Params would be dead here: only the lock *type* is used, and the
+    // arena default-constructs its lock from the global topology above.
+    cohort::reg::with_lock_type(name, {}, [&](auto factory) {
+      using lock_t = typename decltype(factory())::element_type;
+      auto fix = std::make_shared<arena_fixture<lock_t>>();
+      benchmark::RegisterBenchmark(("mmicro/" + name).c_str(),
+                                   bench_mmicro<lock_t>, fix)
+          ->Threads(1)
+          ->Threads(4);
+    });
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,36 +1,48 @@
 // Real-machine key-value store benchmark (google-benchmark): the Table 1
 // code path executed for real -- a memaslap-style get/set mix against the
-// single-cache-lock kv_store, with the lock type as the compared dimension.
+// single-cache-lock kv_store, with the lock dispatched by registry name so
+// the compared dimension is exactly the paper's table rows.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "kvstore/kvstore.hpp"
-#include "locks/pthread_lock.hpp"
+#include "locks/registry.hpp"
 #include "numa/topology.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
+const std::vector<std::string>& keyspace() {
+  static const std::vector<std::string> keys = kvstore::make_keyspace(4096);
+  return keys;
+}
+
 template <typename Lock>
-void bench_kv_mix(benchmark::State& state) {
-  static kvstore::kv_store<Lock>* kv = nullptr;
-  static std::vector<std::string>* keys = nullptr;
+struct kv_fixture {
+  std::unique_ptr<kvstore::kv_store<Lock>> kv;
+};
+
+template <typename Lock>
+void bench_kv_mix(benchmark::State& state,
+                  std::shared_ptr<kv_fixture<Lock>> fix) {
   if (state.thread_index() == 0) {
-    cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
-    delete kv;
-    kv = new kvstore::kv_store<Lock>(1024);
-    if (keys == nullptr) keys = new auto(kvstore::make_keyspace(4096));
-    for (const auto& k : *keys) kv->set(k, "initial-value");
+    fix->kv = std::make_unique<kvstore::kv_store<Lock>>(1024);
+    for (const auto& k : keyspace()) fix->kv->set(k, "initial-value");
   }
   cohort::numa::set_thread_cluster(
       static_cast<unsigned>(state.thread_index()));
   const double get_ratio = static_cast<double>(state.range(0)) / 100.0;
-  cohort::xorshift rng(state.thread_index() + 1);
+  cohort::xorshift rng(static_cast<std::uint64_t>(state.thread_index()) + 1);
+  const auto& keys = keyspace();
   for (auto _ : state) {
-    const auto& key = (*keys)[rng.next_range(keys->size())];
+    const auto& key = keys[rng.next_range(keys.size())];
     if (rng.next_double() < get_ratio) {
-      benchmark::DoNotOptimize(kv->get(key));
+      benchmark::DoNotOptimize(fix->kv->get(key));
     } else {
-      kv->set(key, "updated-value");
+      fix->kv->set(key, "updated-value");
     }
   }
   state.SetItemsProcessed(state.iterations());
@@ -38,14 +50,29 @@ void bench_kv_mix(benchmark::State& state) {
 
 }  // namespace
 
-// Arg = get percentage (90 / 50 / 10, Table 1's three mixes).
-BENCHMARK_TEMPLATE(bench_kv_mix, cohort::pthread_lock)
-    ->Arg(90)->Arg(50)->Arg(10)->Threads(1)->Threads(4);
-BENCHMARK_TEMPLATE(bench_kv_mix, cohort::mcs_lock)
-    ->Arg(90)->Arg(50)->Arg(10)->Threads(1)->Threads(4);
-BENCHMARK_TEMPLATE(bench_kv_mix, cohort::c_tkt_tkt_lock)
-    ->Arg(90)->Arg(50)->Arg(10)->Threads(1)->Threads(4);
-BENCHMARK_TEMPLATE(bench_kv_mix, cohort::c_bo_mcs_lock)
-    ->Arg(90)->Arg(50)->Arg(10)->Threads(1)->Threads(4);
+int main(int argc, char** argv) {
+  cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
 
-BENCHMARK_MAIN();
+  for (const auto& name : cohort::reg::table_lock_names()) {
+    // Params would be dead here: only the lock *type* is used, and the
+    // kv_store default-constructs its lock from the global topology above.
+    cohort::reg::with_lock_type(name, {}, [&](auto factory) {
+      using lock_t = typename decltype(factory())::element_type;
+      auto fix = std::make_shared<kv_fixture<lock_t>>();
+      // Arg = get percentage (90 / 50 / 10, Table 1's three mixes).
+      benchmark::RegisterBenchmark(("kv_mix/" + name).c_str(),
+                                   bench_kv_mix<lock_t>, fix)
+          ->Arg(90)
+          ->Arg(50)
+          ->Arg(10)
+          ->Threads(1)
+          ->Threads(4);
+    });
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

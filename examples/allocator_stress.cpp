@@ -1,24 +1,26 @@
 // mmicro on the real splay-tree arena (the paper's §4.3 experiment executed
 // on the host): each thread repeatedly allocates a 64-byte block, writes its
-// first words and frees it.  Compares the pthread baseline against a cohort
-// lock on the same allocator.
+// first words and frees it.  Locks are dispatched by registry name, so any
+// comparison set can be run:
 //
-//   build/examples/allocator_stress [threads] [iters_per_thread]
+//   build/examples/allocator_stress [threads] [iters_per_thread] [lock...]
+//   e.g.  allocator_stress 8 200000 pthread C-BO-MCS C-MCS-MCS
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "alloc/arena.hpp"
-#include "locks/pthread_lock.hpp"
+#include "locks/registry.hpp"
 #include "numa/topology.hpp"
 
 namespace {
 
 template <typename Lock>
-double run_mmicro(const char* name, int threads, int iters) {
+double run_mmicro(const std::string& name, int threads, int iters) {
   cohortalloc::arena<Lock> arena(32u << 20);
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
@@ -39,7 +41,8 @@ double run_mmicro(const char* name, int threads, int iters) {
       std::chrono::steady_clock::now() - t0;
   const double pairs_per_ms =
       static_cast<double>(threads) * iters / elapsed.count();
-  std::printf("%-14s %8.0f malloc-free pairs/ms\n", name, pairs_per_ms);
+  std::printf("%-14s %8.0f malloc-free pairs/ms\n", name.c_str(),
+              pairs_per_ms);
   return pairs_per_ms;
 }
 
@@ -48,15 +51,31 @@ double run_mmicro(const char* name, int threads, int iters) {
 int main(int argc, char** argv) {
   const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
   const int iters = argc > 2 ? std::atoi(argv[2]) : 100'000;
+  std::vector<std::string> locks;
+  for (int i = 3; i < argc; ++i) locks.emplace_back(argv[i]);
+  if (locks.empty()) locks = {"pthread", "C-TKT-TKT", "C-BO-MCS"};
+
+  // Validate up front so a typo'd name fails fast instead of after the
+  // earlier locks' multi-minute runs.
+  for (const auto& name : locks) {
+    if (!cohort::reg::is_lock_name(name)) {
+      std::fprintf(stderr, "unknown lock '%s' (see cohort_bench --list)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
 
   if (cohort::numa::system_topology().clusters() == 1)
     cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
 
   std::printf("mmicro: %d threads x %d malloc/free pairs, 64-byte blocks\n",
               threads, iters);
-  run_mmicro<cohort::pthread_lock>("pthread", threads, iters);
-  run_mmicro<cohort::c_tkt_tkt_lock>("C-TKT-TKT", threads, iters);
-  run_mmicro<cohort::c_bo_mcs_lock>("C-BO-MCS", threads, iters);
+  for (const auto& name : locks) {
+    cohort::reg::with_lock_type(name, {}, [&](auto factory) {
+      using lock_t = typename decltype(factory())::element_type;
+      run_mmicro<lock_t>(name, threads, iters);
+    });
+  }
   std::printf(
       "(NUMA speedups require a NUMA host; see bench/table2_malloc for the\n"
       " simulated T5440 reproduction.)\n");

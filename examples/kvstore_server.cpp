@@ -1,30 +1,29 @@
 // memaslap-style load driver against the real key-value store (the paper's
 // memcached experiment, §4.2, executed on the host).
 //
-//   build/examples/kvstore_server [threads] [get_percent] [seconds]
+//   build/examples/kvstore_server [threads] [get_percent] [seconds] [lock]
 //
-// Drives a get/set mix against kv_store's single cache lock and prints
-// throughput plus the cache-lock's cohort statistics.
+// Drives a get/set mix against kv_store's single cache lock -- any registry
+// lock name (default C-TKT-TKT, the paper's memcached winner) -- and prints
+// throughput plus the cache-lock's cohort statistics when it has them.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "kvstore/kvstore.hpp"
+#include "locks/registry.hpp"
 #include "numa/topology.hpp"
 #include "util/rng.hpp"
 
-int main(int argc, char** argv) {
-  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
-  const int get_percent = argc > 2 ? std::atoi(argv[2]) : 90;
-  const double seconds = argc > 3 ? std::atof(argv[3]) : 2.0;
+namespace {
 
-  if (cohort::numa::system_topology().clusters() == 1)
-    cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
-
-  kvstore::kv_store<cohort::c_tkt_tkt_lock> kv(4096);
+template <typename Lock>
+void run_mix(int threads, int get_percent, double seconds) {
+  kvstore::kv_store<Lock> kv(4096);
   const auto keys = kvstore::make_keyspace(10'000);
   for (const auto& k : keys) kv.set(k, std::string(64, 'x'));
 
@@ -53,7 +52,6 @@ int main(int argc, char** argv) {
   for (auto& w : workers) w.join();
 
   const auto ks = kv.stats();
-  const auto ls = kv.cache_lock().stats();
   std::printf("mix                  = %d%% gets / %d%% sets, %d threads\n",
               get_percent, 100 - get_percent, threads);
   std::printf("throughput           = %.0f ops/sec\n",
@@ -62,7 +60,33 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ks.gets),
               static_cast<unsigned long long>(ks.get_hits),
               static_cast<unsigned long long>(ks.sets));
-  std::printf("cache-lock batching  = %.1f acquisitions per global lock\n",
-              ls.avg_batch());
+  if constexpr (requires(const Lock& l) { l.stats(); }) {
+    std::printf("cache-lock batching  = %.1f acquisitions per global lock\n",
+                kv.cache_lock().stats().avg_batch());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int get_percent = argc > 2 ? std::atoi(argv[2]) : 90;
+  const double seconds = argc > 3 ? std::atof(argv[3]) : 2.0;
+  const std::string lock_name = argc > 4 ? argv[4] : "C-TKT-TKT";
+
+  if (cohort::numa::system_topology().clusters() == 1)
+    cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
+
+  const bool known =
+      cohort::reg::with_lock_type(lock_name, {}, [&](auto factory) {
+        using lock_t = typename decltype(factory())::element_type;
+        std::printf("cache lock           = %s\n", lock_name.c_str());
+        run_mix<lock_t>(threads, get_percent, seconds);
+      });
+  if (!known) {
+    std::fprintf(stderr, "unknown lock '%s' (see cohort_bench --list)\n",
+                 lock_name.c_str());
+    return 2;
+  }
   return 0;
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Dump the full real-thread benchmark matrix (every registry lock) to a
+# BENCH_real.json trajectory file.
+#
+#   scripts/run_bench_matrix.sh [out.json]
+#
+# Environment knobs:
+#   BUILD_DIR  cmake build directory holding cohort_bench   (default: build)
+#   THREADS    worker threads per run                       (default: nproc)
+#   DURATION   measured seconds per (lock, rep)             (default: 1)
+#   REPS       repetitions per lock                         (default: 3)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_real.json}
+THREADS=${THREADS:-$(nproc)}
+DURATION=${DURATION:-1}
+REPS=${REPS:-3}
+
+if [ ! -x "$BUILD_DIR/cohort_bench" ]; then
+  echo "error: $BUILD_DIR/cohort_bench not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+"$BUILD_DIR/cohort_bench" --all --threads "$THREADS" --duration "$DURATION" \
+  --reps "$REPS" --json > "$OUT"
+
+echo "wrote $OUT ($(wc -c < "$OUT") bytes)" >&2

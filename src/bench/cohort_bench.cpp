@@ -1,0 +1,163 @@
+// cohort_bench: real-thread lock benchmark CLI over the registry locks.
+//
+//   cohort_bench --lock C-BO-MCS --threads 8 --duration 1 --json
+//   cohort_bench --all --threads 4 --duration 0.2 --json   # full registry
+//   cohort_bench --list                                    # name list
+//
+// Emits one JSON record per (lock, repetition) -- a single object for one
+// run, a JSON array otherwise -- shaped for the BENCH_*.json trajectory
+// files (see scripts/run_bench_matrix.sh).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "locks/registry.hpp"
+#include "numa/topology.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --lock NAME       lock to drive (default C-BO-MCS); repeatable\n"
+      "  --all             run every registry lock\n"
+      "  --list            print the registry lock names and exit\n"
+      "  --threads N       worker threads (default 4)\n"
+      "  --duration S      measured seconds per run (default 1.0)\n"
+      "  --warmup S        warmup seconds before measuring (default 0.1)\n"
+      "  --cs-work N       shared cache lines written per CS (default 4)\n"
+      "  --non-cs-work N   private work units between CSs (default 64)\n"
+      "  --reps N          repetitions per lock (default 1)\n"
+      "  --clusters N      override cluster count (default: discovered)\n"
+      "  --pass-limit N    cohort may-pass-local bound (default 64)\n"
+      "  --patience-us N   bounded patience for abortable locks (default 0)\n"
+      "  --no-pin          skip CPU pinning\n"
+      "  --json            emit JSON instead of a text summary\n",
+      argv0);
+}
+
+bool parse_unsigned(const char* s, unsigned long long& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0' && out >= 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cohort::bench::bench_config cfg;
+  std::vector<std::string> locks;
+  unsigned reps = 1;
+  bool run_all = false;
+  bool emit_json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    unsigned long long n = 0;
+    double d = 0.0;
+    if (arg == "--lock") {
+      locks.emplace_back(next());
+    } else if (arg == "--all") {
+      run_all = true;
+    } else if (arg == "--list") {
+      for (const auto& name : cohort::reg::all_lock_names())
+        std::printf("%s\n", name.c_str());
+      return 0;
+    } else if (arg == "--threads" && parse_unsigned(next(), n) && n > 0) {
+      cfg.threads = static_cast<unsigned>(n);
+    } else if (arg == "--duration" && parse_double(next(), d)) {
+      cfg.duration_s = d;
+    } else if (arg == "--warmup" && parse_double(next(), d)) {
+      cfg.warmup_s = d;
+    } else if (arg == "--cs-work" && parse_unsigned(next(), n)) {
+      cfg.cs_work = static_cast<unsigned>(n);
+    } else if (arg == "--non-cs-work" && parse_unsigned(next(), n)) {
+      cfg.non_cs_work = static_cast<unsigned>(n);
+    } else if (arg == "--reps" && parse_unsigned(next(), n) && n > 0) {
+      reps = static_cast<unsigned>(n);
+    } else if (arg == "--clusters" && parse_unsigned(next(), n)) {
+      cfg.clusters = static_cast<unsigned>(n);
+    } else if (arg == "--pass-limit" && parse_unsigned(next(), n)) {
+      cfg.pass_limit = n;
+    } else if (arg == "--patience-us" && parse_unsigned(next(), n)) {
+      cfg.patience_us = n;
+    } else if (arg == "--no-pin") {
+      cfg.pin = false;
+    } else if (arg == "--json") {
+      emit_json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: bad argument '%s'\n", argv[0], arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (run_all)
+    locks = cohort::reg::all_lock_names();
+  else if (locks.empty())
+    locks.push_back(cfg.lock_name);
+
+  for (const auto& name : locks) {
+    if (!cohort::reg::is_lock_name(name)) {
+      std::fprintf(stderr, "%s: unknown lock '%s' (see --list)\n", argv[0],
+                   name.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<cohort::bench::json> records;
+  bool all_ok = true;
+  for (const auto& name : locks) {
+    cfg.lock_name = name;
+    for (unsigned r = 0; r < reps; ++r) {
+      cohort::bench::bench_result res;
+      try {
+        res = cohort::bench::run_bench(cfg);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 2;
+      }
+      if (!res.mutual_exclusion_ok) all_ok = false;
+      if (emit_json)
+        records.push_back(cohort::bench::to_json(res));
+      else
+        std::printf("%s\n", cohort::bench::to_text(res).c_str());
+    }
+  }
+
+  if (emit_json) {
+    if (records.size() == 1) {
+      std::printf("%s\n", records.front().dump(2).c_str());
+    } else {
+      cohort::bench::json arr = cohort::bench::json::array();
+      for (auto& r : records) arr.push(std::move(r));
+      std::printf("%s\n", arr.dump(2).c_str());
+    }
+  }
+  if (!all_ok) {
+    std::fprintf(stderr, "%s: mutual-exclusion audit FAILED\n", argv[0]);
+    return 1;
+  }
+  return 0;
+}

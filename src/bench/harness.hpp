@@ -1,0 +1,84 @@
+// Real-thread benchmark harness for the registry locks.
+//
+// This is the repository's real-hardware counterpart of the simulated LBench
+// (sim/apps/lbench.*): N OS threads, pinned round-robin across the NUMA
+// clusters of the discovered topology, hammer one lock around a critical
+// section that touches shared cache lines, with configurable private work
+// between acquisitions.  Measured outputs follow the paper's evaluation:
+// throughput (Figures 2/4), fairness as the per-thread op-count CV
+// (Figure 5), timeouts for abortable locks (Figure 6), and the average
+// cohort batch length that explains the speedups (§3.7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/json.hpp"
+#include "locks/registry.hpp"
+
+namespace cohort::bench {
+
+struct bench_config {
+  std::string lock_name = "C-BO-MCS";
+  unsigned threads = 4;
+  double duration_s = 1.0;   // measured window
+  double warmup_s = 0.1;     // settle time before the window opens
+  unsigned cs_work = 4;      // shared cache lines written per critical section
+  unsigned non_cs_work = 64; // private RNG steps between critical sections
+  unsigned clusters = 0;     // 0 = discovered topology
+  std::uint64_t pass_limit = 64;  // cohort may-pass-local bound
+  bool pin = true;           // pin threads to their cluster's CPUs
+  // > 0: abortable locks acquire with bounded patience and count timeouts;
+  // non-abortable locks ignore it.
+  std::uint64_t patience_us = 0;
+};
+
+struct bench_result {
+  bench_config config;
+
+  unsigned clusters_used = 0;
+  unsigned pinned_threads = 0;  // threads whose CPU affinity call succeeded
+  double elapsed_s = 0.0;       // actual measured-window length
+
+  std::uint64_t total_ops = 0;  // completed critical sections in the window
+  // Completed critical sections over the whole run (warmup + window + tail).
+  // Every worker performs at least one acquisition attempt, so with infinite
+  // patience this is >= threads -- the liveness signal even when a heavily
+  // loaded host deschedules the workers for the entire measured window.
+  // (With patience_us > 0 an attempt may time out and count in timeouts
+  // instead, so check whole_run_ops + timeouts in that mode.)
+  std::uint64_t whole_run_ops = 0;
+  double throughput_ops_s = 0.0;
+  std::vector<std::uint64_t> per_thread_ops;
+  // Population stddev of per-thread ops divided by the mean (0 = perfectly
+  // fair); Figure 5 reports this as a percentage.
+  double fairness_cv = 0.0;
+  std::uint64_t timeouts = 0;   // failed bounded-patience acquisitions
+
+  // Whole-run (warmup included) cohort statistics; absent for plain locks.
+  bool has_cohort_stats = false;
+  reg::erased_stats cohort{};
+
+  // Every critical section increments each shared line once; after the run
+  // all lines must agree with the total acquisition count.
+  bool mutual_exclusion_ok = false;
+};
+
+// Installs a topology honouring cfg.clusters: the discovered topology
+// as-is (clusters == 0), its first `clusters` nodes, or a synthetic
+// topology when the host has fewer nodes than requested.  Returns the
+// cluster count in effect.
+unsigned install_topology(unsigned clusters);
+
+// Runs one measured repetition of cfg against the named registry lock.
+// Throws std::invalid_argument for unknown lock names.
+bench_result run_bench(const bench_config& cfg);
+
+// One machine-readable trajectory record.
+json to_json(const bench_result& r);
+
+// Human-readable one-line summary.
+std::string to_text(const bench_result& r);
+
+}  // namespace cohort::bench

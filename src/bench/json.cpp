@@ -1,0 +1,111 @@
+#include "bench/json.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace cohort::bench {
+
+json& json::set(std::string key, json value) {
+  assert(kind_ == kind::object);
+  fields_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+json& json::push(json value) {
+  assert(kind_ == kind::array);
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void number_into(std::string& out, double v) {
+  // JSON has no NaN/Inf; clamp to null per common practice.
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out.append(buf, p);
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void json::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case kind::null: out += "null"; break;
+    case kind::boolean: out += bool_ ? "true" : "false"; break;
+    case kind::integer: out += std::to_string(int_); break;
+    case kind::uinteger: out += std::to_string(uint_); break;
+    case kind::number: number_into(out, num_); break;
+    case kind::string: escape_into(out, str_); break;
+    case kind::object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : fields_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        escape_into(out, k);
+        out += indent < 0 ? ":" : ": ";
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!fields_.empty()) newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+    case kind::array: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : items_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace cohort::bench

@@ -1,0 +1,67 @@
+// Minimal ordered JSON value for benchmark records.
+//
+// The harness only ever *writes* JSON (trajectory files like BENCH_real.json
+// are consumed by external tooling), so this is a builder, not a parser:
+// insertion-ordered objects, arrays, strings, bools, integers and doubles,
+// serialised with round-trippable number formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cohort::bench {
+
+class json {
+ public:
+  json() : kind_(kind::null) {}
+  json(bool b) : kind_(kind::boolean), bool_(b) {}
+  json(std::uint64_t v) : kind_(kind::uinteger), uint_(v) {}
+  json(std::int64_t v) : kind_(kind::integer), int_(v) {}
+  json(int v) : json(static_cast<std::int64_t>(v)) {}
+  json(unsigned v) : json(static_cast<std::uint64_t>(v)) {}
+  json(double v) : kind_(kind::number), num_(v) {}
+  json(std::string s) : kind_(kind::string), str_(std::move(s)) {}
+  json(const char* s) : json(std::string(s)) {}
+
+  static json object() {
+    json j;
+    j.kind_ = kind::object;
+    return j;
+  }
+  static json array() {
+    json j;
+    j.kind_ = kind::array;
+    return j;
+  }
+
+  // Object field (insertion order preserved); *this must be an object.
+  json& set(std::string key, json value);
+  // Array append; *this must be an array.
+  json& push(json value);
+
+  std::size_t size() const noexcept {
+    return kind_ == kind::array ? items_.size() : fields_.size();
+  }
+
+  // Serialise; indent < 0 means compact single-line output.
+  std::string dump(int indent = -1) const;
+
+ private:
+  enum class kind { null, boolean, integer, uinteger, number, string, object,
+                    array };
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<std::pair<std::string, json>> fields_;
+  std::vector<json> items_;
+};
+
+}  // namespace cohort::bench

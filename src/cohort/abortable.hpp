@@ -16,6 +16,7 @@
 // in the critical section").
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -57,15 +58,16 @@ class abortable_cohort_lock {
     slot& s = slots_[ctx.cluster].get();
     auto r = s.lock.try_lock(ctx.local, d);
     if (!r.has_value()) {
-      ++s.stats.local_timeouts;
+      // A timed-out waiter holds no lock, so this counter must be atomic.
+      s.local_timeouts.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     ctx.acquired = *r;
     if (*r == release_kind::global) {
       if (!global_.try_lock(d)) {
         // Back out: whoever acquires the local lock next must take G.
+        s.global_timeouts.fetch_add(1, std::memory_order_relaxed);
         s.lock.release_global(ctx.local);
-        ++s.stats.global_timeouts;
         return false;
       }
       s.batch = 0;
@@ -81,12 +83,15 @@ class abortable_cohort_lock {
     slot& s = slots_[ctx.cluster].get();
     if (s.batch < policy_.limit && !s.lock.alone(ctx.local)) {
       ++s.batch;
-      if (s.lock.release_local(ctx.local)) {
-        ++s.stats.local_handoffs;
-        return;
-      }
+      // Optimistic: a successful release_local transfers the lock with the
+      // CAS itself, so the counter must move while we still hold it.
+      ++s.stats.local_handoffs;
+      if (s.lock.release_local(ctx.local)) return;
       // No viable successor could be guaranteed: the local lock is already
-      // released in GLOBAL-RELEASE state, so just release G.
+      // released in GLOBAL-RELEASE state, so just release G.  The counter
+      // patch is ordered before the next holder by the global lock we still
+      // hold.
+      --s.stats.local_handoffs;
       ++s.stats.handoff_failures;
       global_.unlock();
       return;
@@ -109,8 +114,10 @@ class abortable_cohort_lock {
       total.global_acquires += s->stats.global_acquires;
       total.local_handoffs += s->stats.local_handoffs;
       total.handoff_failures += s->stats.handoff_failures;
-      total.local_timeouts += s->stats.local_timeouts;
-      total.global_timeouts += s->stats.global_timeouts;
+      total.local_timeouts +=
+          s->local_timeouts.load(std::memory_order_relaxed);
+      total.global_timeouts +=
+          s->global_timeouts.load(std::memory_order_relaxed);
     }
     return total;
   }
@@ -119,7 +126,12 @@ class abortable_cohort_lock {
   struct slot {
     L lock{};
     std::uint64_t batch = 0;
-    abortable_stats stats{};
+    // Holder-serialised counters (see cohort_stats).
+    cohort_stats stats{};
+    // Timeout counters are bumped by threads that failed to acquire and
+    // therefore hold nothing; they need their own synchronisation.
+    std::atomic<std::uint64_t> local_timeouts{0};
+    std::atomic<std::uint64_t> global_timeouts{0};
   };
 
   pass_policy policy_;

@@ -94,13 +94,17 @@ class cohort_lock {
     slot& s = slots_[ctx.cluster].get();
     if (s.batch < policy_.limit && !s.lock.alone(ctx.local)) {
       ++s.batch;
-      if (s.lock.release_local(ctx.local)) {
-        ++s.stats.local_handoffs;
-        return;
-      }
+      // Count the handoff optimistically *before* the release: a successful
+      // release_local transfers the lock, and any update after that instant
+      // would race with the inheritor's own accounting.
+      ++s.stats.local_handoffs;
+      if (s.lock.release_local(ctx.local)) return;
       // Abortable local locks may fail the handoff (no viable successor);
       // the local lock is then already released in GLOBAL-RELEASE state and
-      // we only release the global lock (§3.6).
+      // we only release the global lock (§3.6).  We still hold the global
+      // lock here, which orders the counter patch before the next holder's
+      // updates.
+      --s.stats.local_handoffs;
       ++s.stats.handoff_failures;
       global_.unlock();
       return;

@@ -1,0 +1,116 @@
+#include "locks/registry.hpp"
+
+namespace cohort::reg {
+
+const std::vector<std::string>& all_lock_names() {
+  static const std::vector<std::string> names = {
+#define COHORT_REGISTRY_NAME(NAME, TYPE, ARGS) NAME,
+      COHORT_REGISTRY_FOR_EACH_LOCK(COHORT_REGISTRY_NAME)
+#undef COHORT_REGISTRY_NAME
+  };
+  return names;
+}
+
+const std::vector<std::string>& cohort_lock_names() {
+  static const std::vector<std::string> names = {
+      "C-BO-BO",   "C-TKT-TKT",  "C-BO-MCS",  "C-TKT-MCS",
+      "C-MCS-MCS", "C-PARK-MCS", "A-C-BO-BO", "A-C-BO-CLH"};
+  return names;
+}
+
+const std::vector<std::string>& abortable_lock_names() {
+  // Everything with a bounded-patience acquisition path: the paper's Figure 6
+  // locks plus the TATAS family, whose try_lock(deadline) is abortable by
+  // construction.
+  static const std::vector<std::string> names = {
+      "BO",    "Fib-BO",    "A-CLH",     "HBO",
+      "HBO-tuned", "A-C-BO-BO", "A-C-BO-CLH"};
+  return names;
+}
+
+const std::vector<std::string>& table_lock_names() {
+  static const std::vector<std::string> names = {
+      "pthread",   "Fib-BO",    "MCS",      "HBO",       "HBO-tuned",
+      "FC-MCS",    "C-BO-BO",   "C-TKT-TKT", "C-BO-MCS", "C-TKT-MCS",
+      "C-MCS-MCS"};
+  return names;
+}
+
+bool is_lock_name(const std::string& name) {
+  for (const auto& n : all_lock_names())
+    if (n == name) return true;
+  return false;
+}
+
+namespace {
+
+template <typename Lock>
+class lock_adapter final : public any_lock {
+ public:
+  lock_adapter(std::string name, std::unique_ptr<Lock> lock)
+      : name_(std::move(name)), lock_(std::move(lock)) {}
+
+  const std::string& name() const override { return name_; }
+
+  bool abortable() const override {
+    return requires(Lock& l, ctx_t& c, deadline d) { l.try_lock(c, d); } ||
+           requires(Lock& l, deadline d) { l.try_lock(d); };
+  }
+
+  std::optional<erased_stats> stats() const override {
+    if constexpr (requires(const Lock& l) { l.stats(); }) {
+      // abortable_stats slices down to its cohort_stats base.
+      return erased_stats(lock_->stats());
+    } else {
+      return std::nullopt;
+    }
+  }
+
+ protected:
+  using ctx_t = typename Lock::context;
+
+  void* create_context() override { return new ctx_t(); }
+  void destroy_context(void* p) override { delete static_cast<ctx_t*>(p); }
+
+  void do_lock(void* p) override { lock_->lock(*static_cast<ctx_t*>(p)); }
+  void do_unlock(void* p) override { lock_->unlock(*static_cast<ctx_t*>(p)); }
+
+  bool do_try_lock(void* p, deadline d) override {
+    ctx_t& c = *static_cast<ctx_t*>(p);
+    if constexpr (requires(Lock& l, ctx_t& ctx, deadline dl) {
+                    l.try_lock(ctx, dl);
+                  }) {
+      // Context-carrying timeout (A-CLH and the abortable cohort locks).
+      // cohort_aclh-style locks report the acquisition state in an optional;
+      // plain abortable locks report bool.
+      auto r = lock_->try_lock(c, d);
+      if constexpr (std::is_same_v<decltype(r), bool>)
+        return r;
+      else
+        return r.has_value();
+    } else if constexpr (requires(Lock& l, deadline dl) { l.try_lock(dl); }) {
+      return lock_->try_lock(d);  // HBO: context-free timeout
+    } else {
+      lock_->lock(c);
+      return true;
+    }
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<Lock> lock_;
+};
+
+}  // namespace
+
+std::unique_ptr<any_lock> make_lock(const std::string& name,
+                                    const lock_params& lp) {
+  std::unique_ptr<any_lock> result;
+  with_lock_type(name, lp, [&](auto factory) {
+    using lock_t = typename decltype(factory())::element_type;
+    result = std::make_unique<lock_adapter<lock_t>>(name, factory());
+  });
+  return result;
+}
+
+}  // namespace cohort::reg

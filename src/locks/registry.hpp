@@ -1,0 +1,176 @@
+// Name-based dispatch over the *real* lock types, mirroring the simulator's
+// sim/locks/registry.hpp.  Lock names follow the paper's figures and tables,
+// so harnesses, examples and future workloads can say "C-BO-MCS" instead of
+// spelling out a template instantiation.
+//
+// Two layers:
+//  * with_lock_type(name, params, fn)  -- compile-time dispatch.  fn is a
+//    generic callable invoked with a factory `() -> std::unique_ptr<LockType>`;
+//    use this when the hot loop should be monomorphised (the benchmark
+//    harness does).
+//  * make_lock(name, params)           -- a type-erased any_lock with virtual
+//    lock/unlock and heap-allocated per-thread contexts; use this when a
+//    uniform runtime handle matters more than the last nanosecond.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cohort/locks.hpp"
+#include "locks/fcmcs.hpp"
+#include "locks/hbo.hpp"
+#include "locks/hclh.hpp"
+#include "locks/pthread_lock.hpp"
+
+namespace cohort::reg {
+
+struct lock_params {
+  unsigned clusters = 0;           // 0 = ask numa::system_topology()
+  std::uint64_t pass_limit = 64;   // cohort may-pass-local bound (§3.7)
+};
+
+namespace detail {
+
+// Cluster count the constructed lock will actually use.
+inline unsigned effective_clusters(const lock_params& lp) {
+  return lp.clusters != 0 ? lp.clusters : numa::system_topology().clusters();
+}
+
+}  // namespace detail
+
+// The single source of truth for the registry: every lock appears exactly
+// once as X(name, type, ctor-args).  Both the with_lock_type dispatch chain
+// and all_lock_names() in registry.cpp expand this table, so a lock added
+// here shows up everywhere (CLI, harness, tests) at once.  Constructor
+// arguments may use `k` (effective cluster count) and `pp` (pass policy).
+#define COHORT_REGISTRY_FOR_EACH_LOCK(X)           \
+  X("pthread", pthread_lock, ())                   \
+  X("BO", bo_lock, ())                             \
+  X("Fib-BO", fib_bo_lock, ())                     \
+  X("TKT", ticket_lock, ())                        \
+  X("MCS", mcs_lock, ())                           \
+  X("CLH", clh_lock, ())                           \
+  X("A-CLH", aclh_lock, ())                        \
+  X("HBO", hbo_lock, (hbo_microbench_tuning()))    \
+  X("HBO-tuned", hbo_lock, (hbo_memcached_tuning())) \
+  X("HCLH", hclh_lock, (k))                        \
+  X("FC-MCS", fc_mcs_lock, (k))                    \
+  X("C-BO-BO", c_bo_bo_lock, (pp, k))              \
+  X("C-TKT-TKT", c_tkt_tkt_lock, (pp, k))          \
+  X("C-BO-MCS", c_bo_mcs_lock, (pp, k))            \
+  X("C-TKT-MCS", c_tkt_mcs_lock, (pp, k))          \
+  X("C-MCS-MCS", c_mcs_mcs_lock, (pp, k))          \
+  X("C-PARK-MCS", c_park_mcs_lock, (pp, k))        \
+  X("A-C-BO-BO", a_c_bo_bo_lock, (pp, k))          \
+  X("A-C-BO-CLH", a_c_bo_clh_lock, (pp, k))
+
+// Invokes fn with a zero-argument factory for the named lock type.  Returns
+// false for unknown names.  fn must be a generic callable (it is
+// instantiated once per lock type).
+template <typename Fn>
+bool with_lock_type(const std::string& name, const lock_params& lp, Fn&& fn) {
+  const unsigned k = detail::effective_clusters(lp);
+  const pass_policy pp{lp.pass_limit};
+  (void)k;
+  (void)pp;
+#define COHORT_REGISTRY_DISPATCH(NAME, TYPE, ARGS) \
+  if (name == NAME) {                              \
+    fn([=] { return std::make_unique<TYPE> ARGS; }); \
+    return true;                                   \
+  }
+  COHORT_REGISTRY_FOR_EACH_LOCK(COHORT_REGISTRY_DISPATCH)
+#undef COHORT_REGISTRY_DISPATCH
+  return false;
+}
+
+// Canonical name list, in the order the paper's evaluation introduces them.
+const std::vector<std::string>& all_lock_names();
+// The subset that are cohort compositions (expose batching statistics).
+const std::vector<std::string>& cohort_lock_names();
+// The subset supporting bounded-patience acquisition (Figure 6's locks).
+const std::vector<std::string>& abortable_lock_names();
+// The application-benchmark comparison set (the real-machine analogue of the
+// sim registry's table1_lock_names()).
+const std::vector<std::string>& table_lock_names();
+
+bool is_lock_name(const std::string& name);
+
+// ---- type-erased handle -----------------------------------------------------
+
+// Batching/handoff counters in a lock-agnostic shape.  Abortable locks'
+// extra timeout counters are sliced off; the harness counts timeouts itself.
+using erased_stats = cohort_stats;
+
+class any_lock {
+ public:
+  virtual ~any_lock() = default;
+
+  // Movable per-thread acquisition context; destroys itself through the
+  // owning lock.  Must not outlive the lock.
+  class context {
+   public:
+    context() = default;
+    context(context&& o) noexcept : owner_(o.owner_), p_(o.p_) {
+      o.owner_ = nullptr;
+      o.p_ = nullptr;
+    }
+    context& operator=(context&& o) noexcept {
+      if (this != &o) {
+        reset();
+        owner_ = o.owner_;
+        p_ = o.p_;
+        o.owner_ = nullptr;
+        o.p_ = nullptr;
+      }
+      return *this;
+    }
+    context(const context&) = delete;
+    context& operator=(const context&) = delete;
+    ~context() { reset(); }
+
+    void reset() {
+      if (owner_ != nullptr) owner_->destroy_context(p_);
+      owner_ = nullptr;
+      p_ = nullptr;
+    }
+
+   private:
+    friend class any_lock;
+    context(any_lock* owner, void* p) : owner_(owner), p_(p) {}
+    any_lock* owner_ = nullptr;
+    void* p_ = nullptr;
+  };
+
+  context make_context() { return context(this, create_context()); }
+
+  void lock(context& c) { do_lock(c.p_); }
+  void unlock(context& c) { do_unlock(c.p_); }
+
+  // Bounded-patience acquisition; non-abortable locks block and return true.
+  bool try_lock_for(context& c, std::chrono::nanoseconds patience) {
+    return do_try_lock(c.p_, deadline_after(patience));
+  }
+
+  virtual const std::string& name() const = 0;
+  virtual bool abortable() const = 0;
+  // Present only for cohort compositions; reads are only meaningful while
+  // the lock is quiescent.
+  virtual std::optional<erased_stats> stats() const = 0;
+
+ protected:
+  virtual void* create_context() = 0;
+  virtual void destroy_context(void* p) = 0;
+  virtual void do_lock(void* p) = 0;
+  virtual void do_unlock(void* p) = 0;
+  virtual bool do_try_lock(void* p, deadline d) = 0;
+};
+
+// Constructs the named lock behind a type-erased handle; nullptr for unknown
+// names.
+std::unique_ptr<any_lock> make_lock(const std::string& name,
+                                    const lock_params& lp = {});
+
+}  // namespace cohort::reg

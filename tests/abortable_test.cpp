@@ -148,8 +148,10 @@ TEST_F(AbortableTest, AclhAbortStorm) {
 }
 
 TEST_F(AbortableTest, HandoffFailureAccounting) {
-  // handoff_failures only ever happens on abortable locals, and every
-  // acquisition is still accounted exactly once.
+  // Every acquisition is accounted exactly once: it either took the global
+  // lock itself or inherited it through a successful local handoff.  (A
+  // handoff *failure* releases the global lock, so its successor shows up in
+  // global_acquires -- failures are deliberately not part of the identity.)
   numa::set_thread_cluster(0);
   a_c_bo_clh_lock lock;
   constexpr int kThreads = 6, kIters = 800;
@@ -168,8 +170,7 @@ TEST_F(AbortableTest, HandoffFailureAccounting) {
   }
   for (auto& th : threads) th.join();
   const auto s = lock.stats();
-  EXPECT_EQ(s.global_acquires + s.local_handoffs + s.handoff_failures,
-            s.acquisitions);
+  EXPECT_EQ(s.global_acquires + s.local_handoffs, s.acquisitions);
 }
 
 }  // namespace

@@ -1,0 +1,152 @@
+// Real-lock registry tests: every canonical name constructs through both
+// dispatch layers, round-trips lock/unlock under 4 threads with mutual
+// exclusion intact, and unknown names are rejected.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "locks/registry.hpp"
+#include "numa/topology.hpp"
+
+namespace cohort::reg {
+namespace {
+
+class RealRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    numa::set_system_topology(numa::topology::synthetic(2));
+    numa::reset_round_robin_for_test();
+  }
+};
+
+TEST_F(RealRegistryTest, NameListsAreConsistent) {
+  EXPECT_FALSE(all_lock_names().empty());
+  for (const auto& name : all_lock_names()) EXPECT_TRUE(is_lock_name(name));
+  for (const auto& name : cohort_lock_names()) EXPECT_TRUE(is_lock_name(name));
+  for (const auto& name : abortable_lock_names())
+    EXPECT_TRUE(is_lock_name(name));
+}
+
+TEST_F(RealRegistryTest, UnknownNamesAreRejected) {
+  for (const auto* bad : {"", "mcs", "C-BO", "C-BO-MCS ", "NOPE"}) {
+    EXPECT_FALSE(is_lock_name(bad)) << bad;
+    EXPECT_EQ(make_lock(bad), nullptr) << bad;
+    EXPECT_FALSE(with_lock_type(bad, {}, [](auto) {})) << bad;
+  }
+}
+
+TEST_F(RealRegistryTest, EveryNameConstructs) {
+  for (const auto& name : all_lock_names()) {
+    auto lock = make_lock(name, {.clusters = 2, .pass_limit = 16});
+    ASSERT_NE(lock, nullptr) << name;
+    EXPECT_EQ(lock->name(), name);
+    // Solo round trip.
+    auto ctx = lock->make_context();
+    lock->lock(ctx);
+    lock->unlock(ctx);
+  }
+}
+
+TEST_F(RealRegistryTest, AbortableFlagMatchesNameList) {
+  for (const auto& name : all_lock_names()) {
+    auto lock = make_lock(name);
+    ASSERT_NE(lock, nullptr) << name;
+    bool expected = false;
+    for (const auto& a : abortable_lock_names())
+      if (a == name) expected = true;
+    EXPECT_EQ(lock->abortable(), expected) << name;
+  }
+}
+
+TEST_F(RealRegistryTest, CohortLocksExposeStats) {
+  for (const auto& name : cohort_lock_names()) {
+    auto lock = make_lock(name, {.clusters = 2});
+    ASSERT_NE(lock, nullptr) << name;
+    ASSERT_TRUE(lock->stats().has_value()) << name;
+    auto ctx = lock->make_context();
+    for (int i = 0; i < 10; ++i) {
+      lock->lock(ctx);
+      lock->unlock(ctx);
+    }
+    const auto s = *lock->stats();
+    EXPECT_EQ(s.acquisitions, 10u) << name;
+    EXPECT_GE(s.global_acquires, 1u) << name;
+    EXPECT_GT(s.avg_batch(), 0.0) << name;
+  }
+}
+
+TEST_F(RealRegistryTest, EveryNameRoundTripsUnderFourThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  for (const auto& name : all_lock_names()) {
+    auto lock = make_lock(name, {.clusters = 2});
+    ASSERT_NE(lock, nullptr) << name;
+    long counter = 0;  // non-atomic: the lock is the only synchronisation
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        numa::set_thread_cluster(static_cast<unsigned>(t));
+        auto ctx = lock->make_context();
+        for (int i = 0; i < kIters; ++i) {
+          lock->lock(ctx);
+          ++counter;
+          lock->unlock(ctx);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters) << name;
+  }
+}
+
+TEST_F(RealRegistryTest, AbortableLocksTimeOutWhileHeld) {
+  for (const auto& name : abortable_lock_names()) {
+    auto lock = make_lock(name, {.clusters = 2});
+    ASSERT_NE(lock, nullptr) << name;
+    auto holder = lock->make_context();
+    lock->lock(holder);
+    std::thread waiter([&] {
+      numa::set_thread_cluster(1);
+      auto ctx = lock->make_context();
+      EXPECT_FALSE(lock->try_lock_for(ctx, std::chrono::milliseconds(5)))
+          << name;
+    });
+    waiter.join();
+    lock->unlock(holder);
+    // The lock must still work after the timeout.
+    auto ctx = lock->make_context();
+    EXPECT_TRUE(lock->try_lock_for(ctx, std::chrono::milliseconds(100)))
+        << name;
+    lock->unlock(ctx);
+  }
+}
+
+TEST_F(RealRegistryTest, HarnessSmokeRunsEveryLock) {
+  bench::bench_config cfg;
+  cfg.threads = 4;
+  cfg.duration_s = 0.02;
+  cfg.warmup_s = 0.005;
+  cfg.clusters = 2;
+  cfg.pin = false;
+  for (const auto& name : all_lock_names()) {
+    cfg.lock_name = name;
+    const auto res = bench::run_bench(cfg);
+    EXPECT_TRUE(res.mutual_exclusion_ok) << name;
+    // total_ops (the measured window) can legitimately be 0 on a heavily
+    // oversubscribed host; whole-run ops are guaranteed by construction.
+    EXPECT_GE(res.whole_run_ops, static_cast<std::uint64_t>(cfg.threads))
+        << name;
+    const auto rec = bench::to_json(res);
+    const std::string dumped = rec.dump();
+    EXPECT_NE(dumped.find("\"lock\":\"" + name + "\""), std::string::npos);
+    EXPECT_NE(dumped.find("throughput_ops_s"), std::string::npos);
+  }
+  EXPECT_THROW(bench::run_bench(bench::bench_config{.lock_name = "NOPE"}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cohort::reg
