@@ -1,48 +1,72 @@
-// Real-machine key-value store benchmark (google-benchmark): the Table 1
-// code path executed for real -- a memaslap-style get/set mix against the
-// single-cache-lock kv_store, with the lock dispatched by registry name so
-// the compared dimension is exactly the paper's table rows.
+// Real-machine key-value benchmark (google-benchmark): the Table 1 code path
+// executed for real -- a memaslap-style get/set mix against the sharded kv
+// engine, with the lock dispatched by registry name and the shard count as a
+// benchmark dimension, so the compared axes are the paper's table rows times
+// the sharding ablation.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
-#include "kvstore/kvstore.hpp"
+#include "kvstore/sharded_store.hpp"
 #include "locks/registry.hpp"
 #include "numa/topology.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
+constexpr std::size_t kShardCounts[] = {1, 4, 16};
+
 const std::vector<std::string>& keyspace() {
   static const std::vector<std::string> keys = kvstore::make_keyspace(4096);
   return keys;
 }
 
+// One store per (lock, shard count), built and prefilled on first use so a
+// --benchmark_filter run only pays for the stores it drives.  call_once is
+// the barrier the bare thread_index()==0 idiom lacks: every benchmark
+// thread waits until the store exists before making a handle.
 template <typename Lock>
 struct kv_fixture {
-  std::unique_ptr<kvstore::kv_store<Lock>> kv;
+  kv_fixture(std::size_t shards, std::function<std::unique_ptr<Lock>()> make)
+      : shards_(shards), make_(std::move(make)) {}
+
+  kvstore::sharded_store<Lock>& store() {
+    std::call_once(once_, [&] {
+      store_ = std::make_unique<kvstore::sharded_store<Lock>>(
+          kvstore::kv_config{.shards = shards_, .buckets = 1024}, make_);
+      auto h = store_->make_handle();
+      for (const auto& k : keyspace()) store_->set(h, k, "initial-value");
+    });
+    return *store_;
+  }
+
+ private:
+  std::size_t shards_;
+  std::function<std::unique_ptr<Lock>()> make_;
+  std::once_flag once_;
+  std::unique_ptr<kvstore::sharded_store<Lock>> store_;
 };
 
 template <typename Lock>
 void bench_kv_mix(benchmark::State& state,
                   std::shared_ptr<kv_fixture<Lock>> fix) {
-  if (state.thread_index() == 0) {
-    fix->kv = std::make_unique<kvstore::kv_store<Lock>>(1024);
-    for (const auto& k : keyspace()) fix->kv->set(k, "initial-value");
-  }
   cohort::numa::set_thread_cluster(
       static_cast<unsigned>(state.thread_index()));
+  auto& store = fix->store();
+  auto h = store.make_handle();
   const double get_ratio = static_cast<double>(state.range(0)) / 100.0;
   cohort::xorshift rng(static_cast<std::uint64_t>(state.thread_index()) + 1);
   const auto& keys = keyspace();
   for (auto _ : state) {
     const auto& key = keys[rng.next_range(keys.size())];
     if (rng.next_double() < get_ratio) {
-      benchmark::DoNotOptimize(fix->kv->get(key));
+      benchmark::DoNotOptimize(store.get(h, key));
     } else {
-      fix->kv->set(key, "updated-value");
+      store.set(h, key, "updated-value");
     }
   }
   state.SetItemsProcessed(state.iterations());
@@ -54,20 +78,21 @@ int main(int argc, char** argv) {
   cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
 
   for (const auto& name : cohort::reg::table_lock_names()) {
-    // Params would be dead here: only the lock *type* is used, and the
-    // kv_store default-constructs its lock from the global topology above.
-    cohort::reg::with_lock_type(name, {}, [&](auto factory) {
-      using lock_t = typename decltype(factory())::element_type;
-      auto fix = std::make_shared<kv_fixture<lock_t>>();
-      // Arg = get percentage (90 / 50 / 10, Table 1's three mixes).
-      benchmark::RegisterBenchmark(("kv_mix/" + name).c_str(),
-                                   bench_kv_mix<lock_t>, fix)
-          ->Arg(90)
-          ->Arg(50)
-          ->Arg(10)
-          ->Threads(1)
-          ->Threads(4);
-    });
+    for (std::size_t shards : kShardCounts) {
+      cohort::reg::with_lock_type(name, {}, [&](auto factory) {
+        using lock_t = typename decltype(factory())::element_type;
+        auto fix = std::make_shared<kv_fixture<lock_t>>(shards, factory);
+        // Arg = get percentage (90 / 50 / 10, Table 1's three mixes).
+        benchmark::RegisterBenchmark(
+            ("kv_mix/" + name + "/shards:" + std::to_string(shards)).c_str(),
+            bench_kv_mix<lock_t>, fix)
+            ->Arg(90)
+            ->Arg(50)
+            ->Arg(10)
+            ->Threads(1)
+            ->Threads(4);
+      });
+    }
   }
 
   benchmark::Initialize(&argc, argv);

@@ -1,11 +1,13 @@
-// memaslap-style load driver against the real key-value store (the paper's
-// memcached experiment, §4.2, executed on the host).
+// memaslap-style load driver against the real sharded kv engine (the paper's
+// memcached experiment, §4.2, executed on the host and grown along the shard
+// axis).
 //
-//   build/examples/kvstore_server [threads] [get_percent] [seconds] [lock]
+//   build/kvstore_server [threads] [get_percent] [seconds] [lock] [shards]
 //
-// Drives a get/set mix against kv_store's single cache lock -- any registry
-// lock name (default C-TKT-TKT, the paper's memcached winner) -- and prints
-// throughput plus the cache-lock's cohort statistics when it has them.
+// Drives a get/set mix against the sharded_store through the type-erased
+// any_lock policy path -- any registry lock name (default C-TKT-TKT, the
+// paper's memcached winner) -- and prints throughput plus each shard's
+// cohort batching statistics when its lock keeps them.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -14,18 +16,43 @@
 #include <thread>
 #include <vector>
 
-#include "kvstore/kvstore.hpp"
-#include "locks/registry.hpp"
+#include "kvstore/sharded_store.hpp"
 #include "numa/topology.hpp"
 #include "util/rng.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int get_percent = argc > 2 ? std::atoi(argv[2]) : 90;
+  const double seconds = argc > 3 ? std::atof(argv[3]) : 2.0;
+  const std::string lock_name = argc > 4 ? argv[4] : "C-TKT-TKT";
+  const int shards_arg = argc > 5 ? std::atoi(argv[5]) : 4;
+  if (threads <= 0 || shards_arg <= 0) {
+    std::fprintf(stderr,
+                 "usage: %s [threads] [get_percent] [seconds] [lock] [shards]"
+                 " (threads and shards must be positive)\n",
+                 argv[0]);
+    return 2;
+  }
+  const auto shards = static_cast<std::size_t>(shards_arg);
 
-template <typename Lock>
-void run_mix(int threads, int get_percent, double seconds) {
-  kvstore::kv_store<Lock> kv(4096);
+  if (cohort::numa::system_topology().clusters() == 1)
+    cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
+
+  auto store = kvstore::make_any_sharded_store(
+      lock_name, {.shards = shards, .buckets = 4096});
+  if (store == nullptr) {
+    std::fprintf(stderr, "unknown lock '%s' (see cohort_bench --list)\n",
+                 lock_name.c_str());
+    return 2;
+  }
+  std::printf("cache lock           = %s x %zu shards\n", lock_name.c_str(),
+              store->shard_count());
+
   const auto keys = kvstore::make_keyspace(10'000);
-  for (const auto& k : keys) kv.set(k, std::string(64, 'x'));
+  {
+    auto h = store->make_handle();
+    for (const auto& k : keys) store->set(h, k, std::string(64, 'x'));
+  }
 
   std::atomic<bool> stop{false};
   std::atomic<long> ops{0};
@@ -33,14 +60,15 @@ void run_mix(int threads, int get_percent, double seconds) {
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       cohort::numa::set_thread_cluster(static_cast<unsigned>(t));
+      auto h = store->make_handle();
       cohort::xorshift rng(static_cast<std::uint64_t>(t) + 42);
       long local = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         const auto& key = keys[rng.next_range(keys.size())];
         if (rng.next_range(100) < static_cast<std::uint64_t>(get_percent)) {
-          (void)kv.get(key);
+          (void)store->get(h, key);
         } else {
-          kv.set(key, std::string(64, 'y'));
+          store->set(h, key, std::string(64, 'y'));
         }
         ++local;
       }
@@ -51,42 +79,22 @@ void run_mix(int threads, int get_percent, double seconds) {
   stop = true;
   for (auto& w : workers) w.join();
 
-  const auto ks = kv.stats();
+  // Workers are joined: quiescent reads of the per-shard counters are safe.
+  const auto ks = store->stats();
   std::printf("mix                  = %d%% gets / %d%% sets, %d threads\n",
               get_percent, 100 - get_percent, threads);
   std::printf("throughput           = %.0f ops/sec\n",
               static_cast<double>(ops.load()) / seconds);
-  std::printf("gets=%llu (hits %llu)  sets=%llu\n",
+  std::printf("gets=%llu (hits %llu)  sets=%llu  items=%zu\n",
               static_cast<unsigned long long>(ks.gets),
               static_cast<unsigned long long>(ks.get_hits),
-              static_cast<unsigned long long>(ks.sets));
-  if constexpr (requires(const Lock& l) { l.stats(); }) {
-    std::printf("cache-lock batching  = %.1f acquisitions per global lock\n",
-                kv.cache_lock().stats().avg_batch());
-  }
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
-  const int get_percent = argc > 2 ? std::atoi(argv[2]) : 90;
-  const double seconds = argc > 3 ? std::atof(argv[3]) : 2.0;
-  const std::string lock_name = argc > 4 ? argv[4] : "C-TKT-TKT";
-
-  if (cohort::numa::system_topology().clusters() == 1)
-    cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
-
-  const bool known =
-      cohort::reg::with_lock_type(lock_name, {}, [&](auto factory) {
-        using lock_t = typename decltype(factory())::element_type;
-        std::printf("cache lock           = %s\n", lock_name.c_str());
-        run_mix<lock_t>(threads, get_percent, seconds);
-      });
-  if (!known) {
-    std::fprintf(stderr, "unknown lock '%s' (see cohort_bench --list)\n",
-                 lock_name.c_str());
-    return 2;
+              static_cast<unsigned long long>(ks.sets), store->size());
+  for (std::size_t s = 0; s < store->shard_count(); ++s) {
+    if (auto ls = store->lock_stats(s))
+      std::printf(
+          "shard %-2zu (cluster %u) = %zu items, %.1f acquisitions/global\n",
+          s, store->home_cluster(s), store->shard(s).size(),
+          ls->avg_batch());
   }
   return 0;
 }

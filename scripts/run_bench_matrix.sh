@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Dump the full real-thread benchmark matrix (every registry lock) to a
-# BENCH_real.json trajectory file.
+# Dump the full real-thread benchmark matrix to a BENCH_real.json trajectory
+# file: every registry lock on the "cs" microbenchmark, plus a
+# lock x shard-count sweep of the "kv" application workload, merged into one
+# JSON array.
 #
 #   scripts/run_bench_matrix.sh [out.json]
 #
@@ -9,6 +11,8 @@
 #   THREADS    worker threads per run                       (default: nproc)
 #   DURATION   measured seconds per (lock, rep)             (default: 1)
 #   REPS       repetitions per lock                         (default: 3)
+#   KV_LOCKS   locks for the kv sweep    (default: pthread C-TKT-TKT C-BO-MCS)
+#   KV_SHARDS  shard counts for the kv sweep               (default: 1 4 16)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,13 +22,43 @@ OUT=${1:-BENCH_real.json}
 THREADS=${THREADS:-$(nproc)}
 DURATION=${DURATION:-1}
 REPS=${REPS:-3}
+KV_LOCKS=${KV_LOCKS:-pthread C-TKT-TKT C-BO-MCS}
+KV_SHARDS=${KV_SHARDS:-1 4 16}
 
 if [ ! -x "$BUILD_DIR/cohort_bench" ]; then
   echo "error: $BUILD_DIR/cohort_bench not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
   exit 1
 fi
 
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Lock-overhead matrix: every registry lock on the cs microbenchmark.
 "$BUILD_DIR/cohort_bench" --all --threads "$THREADS" --duration "$DURATION" \
-  --reps "$REPS" --json > "$OUT"
+  --reps "$REPS" --json > "$tmpdir/cs.json"
+
+# Application matrix: kv workload, lock x shard-count sweep.
+kv_lock_args=()
+for lock in $KV_LOCKS; do kv_lock_args+=(--lock "$lock"); done
+for shards in $KV_SHARDS; do
+  "$BUILD_DIR/cohort_bench" --workload kv "${kv_lock_args[@]}" \
+    --threads "$THREADS" --shards "$shards" --duration "$DURATION" \
+    --reps "$REPS" --json > "$tmpdir/kv-$shards.json"
+done
+
+# Merge all record sets (cohort_bench prints a bare object for a single run,
+# an array otherwise) into one flat array.
+python3 - "$OUT" "$tmpdir"/*.json <<'EOF'
+import json, sys
+out, *parts = sys.argv[1:]
+records = []
+for part in parts:
+    with open(part) as f:
+        data = json.load(f)
+    records.extend(data if isinstance(data, list) else [data])
+with open(out, "w") as f:
+    json.dump(records, f, indent=2)
+    f.write("\n")
+EOF
 
 echo "wrote $OUT ($(wc -c < "$OUT") bytes)" >&2

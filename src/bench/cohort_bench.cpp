@@ -1,12 +1,15 @@
-// cohort_bench: real-thread lock benchmark CLI over the registry locks.
+// cohort_bench: real-thread benchmark CLI over the registry locks.
 //
 //   cohort_bench --lock C-BO-MCS --threads 8 --duration 1 --json
 //   cohort_bench --all --threads 4 --duration 0.2 --json   # full registry
+//   cohort_bench --workload kv --shards 4 --get-ratio 0.9 --json
 //   cohort_bench --list                                    # name list
 //
-// Emits one JSON record per (lock, repetition) -- a single object for one
-// run, a JSON array otherwise -- shaped for the BENCH_*.json trajectory
-// files (see scripts/run_bench_matrix.sh).
+// Two workloads: "cs" (the paper's critical-section microbenchmark) and
+// "kv" (a get/set mix against the sharded kv engine).  Emits one JSON
+// record per (lock, repetition) -- a single object for one run, a JSON
+// array otherwise -- shaped for the BENCH_*.json trajectory files (see
+// scripts/run_bench_matrix.sh).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,18 +27,26 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
+      "  --workload W      cs | kv (default cs)\n"
       "  --lock NAME       lock to drive (default C-BO-MCS); repeatable\n"
       "  --all             run every registry lock\n"
       "  --list            print the registry lock names and exit\n"
       "  --threads N       worker threads (default 4)\n"
       "  --duration S      measured seconds per run (default 1.0)\n"
       "  --warmup S        warmup seconds before measuring (default 0.1)\n"
-      "  --cs-work N       shared cache lines written per CS (default 4)\n"
-      "  --non-cs-work N   private work units between CSs (default 64)\n"
+      "  --cs-work N       [cs] shared cache lines written per CS (default 4)\n"
+      "  --non-cs-work N   [cs] private work units between CSs (default 64)\n"
+      "  --shards N        [kv] independent shards (default 1)\n"
+      "  --get-ratio G     [kv] fraction of gets, 0..1 (default 0.9)\n"
+      "  --keyspace K      [kv] distinct keys, prefilled (default 10000)\n"
+      "  --value-bytes N   [kv] value payload size (default 64)\n"
+      "  --buckets N       [kv] hash buckets per shard (default 1024)\n"
+      "  --max-items N     [kv] total eviction budget (default 0 = off)\n"
+      "  --numa-place      [kv] first-touch shards on their home cluster\n"
       "  --reps N          repetitions per lock (default 1)\n"
       "  --clusters N      override cluster count (default: discovered)\n"
       "  --pass-limit N    cohort may-pass-local bound (default 64)\n"
-      "  --patience-us N   bounded patience for abortable locks (default 0)\n"
+      "  --patience-us N   [cs] bounded patience for abortable locks (default 0)\n"
       "  --no-pin          skip CPU pinning\n"
       "  --json            emit JSON instead of a text summary\n",
       argv0);
@@ -75,6 +86,13 @@ int main(int argc, char** argv) {
     double d = 0.0;
     if (arg == "--lock") {
       locks.emplace_back(next());
+    } else if (arg == "--workload") {
+      cfg.workload = next();
+      if (cfg.workload != "cs" && cfg.workload != "kv") {
+        std::fprintf(stderr, "%s: unknown workload '%s' (cs or kv)\n", argv[0],
+                     cfg.workload.c_str());
+        return 2;
+      }
     } else if (arg == "--all") {
       run_all = true;
     } else if (arg == "--list") {
@@ -91,6 +109,20 @@ int main(int argc, char** argv) {
       cfg.cs_work = static_cast<unsigned>(n);
     } else if (arg == "--non-cs-work" && parse_unsigned(next(), n)) {
       cfg.non_cs_work = static_cast<unsigned>(n);
+    } else if (arg == "--shards" && parse_unsigned(next(), n) && n > 0) {
+      cfg.shards = static_cast<std::size_t>(n);
+    } else if (arg == "--get-ratio" && parse_double(next(), d) && d <= 1.0) {
+      cfg.get_ratio = d;
+    } else if (arg == "--keyspace" && parse_unsigned(next(), n) && n > 0) {
+      cfg.keyspace = static_cast<std::size_t>(n);
+    } else if (arg == "--value-bytes" && parse_unsigned(next(), n)) {
+      cfg.value_bytes = static_cast<std::size_t>(n);
+    } else if (arg == "--buckets" && parse_unsigned(next(), n) && n > 0) {
+      cfg.kv_buckets = static_cast<std::size_t>(n);
+    } else if (arg == "--max-items" && parse_unsigned(next(), n)) {
+      cfg.kv_max_items = static_cast<std::size_t>(n);
+    } else if (arg == "--numa-place") {
+      cfg.numa_place = true;
     } else if (arg == "--reps" && parse_unsigned(next(), n) && n > 0) {
       reps = static_cast<unsigned>(n);
     } else if (arg == "--clusters" && parse_unsigned(next(), n)) {

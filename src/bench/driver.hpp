@@ -1,0 +1,155 @@
+// Windowed-measurement skeleton shared by the cohort_bench workloads
+// (DESIGN.md §4): thread creation, pinning, start barrier, warmup, the
+// measured window with counter snapshots, and the fairness/throughput
+// reduction.  A workload plugs in as a per-thread body -- "cs" (harness.cpp)
+// and "kv" (kv_workload.cpp) today; an allocator workload or a storage
+// backend can reuse the same skeleton without touching the timing logic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "numa/topology.hpp"
+#include "util/align.hpp"
+#include "util/stats.hpp"
+
+namespace cohort::bench {
+
+// The two built-in workloads, dispatched by run_bench() on
+// bench_config::workload.
+bench_result run_cs_bench(const bench_config& cfg);
+bench_result run_kv_bench(const bench_config& cfg);
+
+namespace detail {
+
+using bench_clock = std::chrono::steady_clock;
+
+struct alignas(cache_line_size) thread_slot {
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<std::uint64_t> timeouts{0};
+  std::atomic<bool> pinned{false};
+};
+
+struct window_totals {
+  unsigned pinned_threads = 0;
+  double elapsed_s = 0.0;                     // actual measured-window length
+  std::vector<std::uint64_t> window_ops;      // per thread, window only
+  std::uint64_t window_timeouts = 0;
+  std::uint64_t whole_run_ops = 0;            // warmup + window + tail
+};
+
+// Runs cfg.threads workers against a workload body.  make_body(tid) is
+// invoked on the worker's own thread (after pinning / cluster assignment)
+// and must return a callable `bool ()` performing exactly one operation:
+// true counts as a completed op, false as a timeout.  Bodies run in a
+// do-while, so every worker attempts at least one operation even if the
+// window elapses while it is descheduled.
+template <typename MakeBody>
+window_totals run_window(const bench_config& cfg, MakeBody&& make_body) {
+  const auto& topo = numa::system_topology();
+  const unsigned clusters = topo.clusters();
+
+  std::vector<thread_slot> slots(cfg.threads);
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<unsigned> ready{0};
+
+  auto worker = [&](unsigned tid) {
+    if (cfg.pin)
+      slots[tid].pinned.store(numa::pin_thread_to_cluster(topo, tid % clusters),
+                              std::memory_order_relaxed);
+    else
+      numa::set_thread_cluster(tid % clusters);
+
+    auto body = make_body(tid);
+
+    ready.fetch_add(1, std::memory_order_release);
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+
+    std::uint64_t ops = 0;
+    std::uint64_t timeouts = 0;
+    do {
+      if (body())
+        ++ops;
+      else
+        ++timeouts;
+      // Publish progress so the coordinator can snapshot mid-run.
+      slots[tid].ops.store(ops, std::memory_order_relaxed);
+      slots[tid].timeouts.store(timeouts, std::memory_order_relaxed);
+    } while (!stop.load(std::memory_order_relaxed));
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) threads.emplace_back(worker, t);
+  while (ready.load(std::memory_order_acquire) != cfg.threads)
+    std::this_thread::yield();
+
+  const auto start = bench_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_until(
+      start + std::chrono::duration_cast<bench_clock::duration>(
+                  std::chrono::duration<double>(cfg.warmup_s)));
+
+  // Open the measured window: snapshot the counters, run, snapshot again.
+  std::vector<std::uint64_t> warm_ops(cfg.threads);
+  std::vector<std::uint64_t> warm_timeouts(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    warm_ops[t] = slots[t].ops.load(std::memory_order_relaxed);
+    warm_timeouts[t] = slots[t].timeouts.load(std::memory_order_relaxed);
+  }
+  const auto window_open = bench_clock::now();
+  std::this_thread::sleep_until(
+      window_open + std::chrono::duration_cast<bench_clock::duration>(
+                        std::chrono::duration<double>(cfg.duration_s)));
+  std::vector<std::uint64_t> end_ops(cfg.threads);
+  std::vector<std::uint64_t> end_timeouts(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    end_ops[t] = slots[t].ops.load(std::memory_order_relaxed);
+    end_timeouts[t] = slots[t].timeouts.load(std::memory_order_relaxed);
+  }
+  const auto window_close = bench_clock::now();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  window_totals w;
+  w.elapsed_s =
+      std::chrono::duration<double>(window_close - window_open).count();
+  w.window_ops.resize(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    w.window_ops[t] = end_ops[t] - warm_ops[t];
+    w.window_timeouts += end_timeouts[t] - warm_timeouts[t];
+    if (slots[t].pinned.load(std::memory_order_relaxed)) ++w.pinned_threads;
+    // Post-join counters cover warmup and the tail after the window closed.
+    w.whole_run_ops += slots[t].ops.load(std::memory_order_relaxed);
+  }
+  return w;
+}
+
+// Fills the window-derived fields of a bench_result (throughput, fairness,
+// per-thread ops, timeouts, pinning, whole-run total).
+inline void fill_window_result(bench_result& res, const window_totals& w) {
+  res.pinned_threads = w.pinned_threads;
+  res.elapsed_s = w.elapsed_s;
+  res.per_thread_ops = w.window_ops;
+  res.timeouts = w.window_timeouts;
+  res.whole_run_ops = w.whole_run_ops;
+  res.total_ops = 0;
+  std::vector<double> per_thread(w.window_ops.size());
+  for (std::size_t t = 0; t < w.window_ops.size(); ++t) {
+    res.total_ops += w.window_ops[t];
+    per_thread[t] = static_cast<double>(w.window_ops[t]);
+  }
+  res.throughput_ops_s =
+      res.elapsed_s > 0.0 ? static_cast<double>(res.total_ops) / res.elapsed_s
+                          : 0.0;
+  const summary fair = summarize(per_thread);
+  res.fairness_cv = fair.mean > 0.0 ? fair.stddev / fair.mean : 0.0;
+}
+
+}  // namespace detail
+}  // namespace cohort::bench

@@ -1,29 +1,19 @@
 #include "bench/harness.hpp"
 
-#include <atomic>
-#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
-#include <thread>
 
+#include "bench/driver.hpp"
 #include "numa/topology.hpp"
 #include "util/align.hpp"
 #include "util/rng.hpp"
-#include "util/stats.hpp"
 
 namespace cohort::bench {
 
 namespace {
 
-using clock_t_ = std::chrono::steady_clock;
-
-struct alignas(cache_line_size) thread_slot {
-  std::atomic<std::uint64_t> ops{0};
-  std::atomic<std::uint64_t> timeouts{0};
-  std::atomic<bool> pinned{false};
-};
-
-// Shared state the critical section mutates.  Non-atomic on purpose: the
+// Shared state the "cs" critical section mutates.  Non-atomic on purpose: the
 // lock under test is the only thing ordering these writes, so a broken lock
 // shows up as a mutual-exclusion failure (and as a TSan report in the
 // sanitizer CI job).
@@ -31,26 +21,14 @@ struct cs_data {
   std::vector<padded<std::uint64_t>> lines;
 };
 
-void spin_sleep_until(clock_t_::time_point t) {
-  std::this_thread::sleep_until(t);
-}
-
 template <typename Lock>
-bench_result run_typed(Lock& lock, const bench_config& cfg) {
-  const auto& topo = numa::system_topology();
-  const unsigned clusters = topo.clusters();
-
+bench_result run_cs_typed(Lock& lock, const bench_config& cfg) {
   bench_result res;
   res.config = cfg;
-  res.clusters_used = clusters;
+  res.clusters_used = numa::system_topology().clusters();
 
   cs_data shared;
   shared.lines.resize(std::max(1u, cfg.cs_work));
-  std::vector<thread_slot> slots(cfg.threads);
-
-  std::atomic<bool> go{false};
-  std::atomic<bool> stop{false};
-  std::atomic<unsigned> ready{0};
 
   const bool use_patience = [&] {
     if (cfg.patience_us == 0) return false;
@@ -58,112 +36,45 @@ bench_result run_typed(Lock& lock, const bench_config& cfg) {
       l.try_lock(c, d);
     } || requires(Lock& l, deadline d) { l.try_lock(d); };
   }();
+  const std::chrono::microseconds patience(cfg.patience_us);
 
-  auto worker = [&](unsigned tid) {
-    if (cfg.pin)
-      slots[tid].pinned.store(numa::pin_thread_to_cluster(topo, tid % clusters),
-                              std::memory_order_relaxed);
-    else
-      numa::set_thread_cluster(tid % clusters);
-
-    typename Lock::context ctx{};
-    xorshift rng(0x9e3779b9u + tid);
-    const std::chrono::microseconds patience(cfg.patience_us);
-
-    ready.fetch_add(1, std::memory_order_release);
-    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
-
-    std::uint64_t ops = 0;
-    std::uint64_t timeouts = 0;
-    // do-while: even if the measured window elapsed while this thread was
-    // descheduled, every worker makes at least one acquisition attempt.
-    do {
+  const auto totals = detail::run_window(cfg, [&](unsigned tid) {
+    // Queue-lock contexts are identity-sensitive, so the body keeps its
+    // context at a stable heap address instead of inside the closure.
+    return [&lock, &shared, &cfg, use_patience, patience,
+            ctx = std::make_unique<typename Lock::context>(),
+            rng = xorshift(0x9e3779b9u + tid)]() mutable {
       bool acquired = true;
       if (use_patience) {
         if constexpr (requires(Lock& l, typename Lock::context& c,
                                deadline d) { l.try_lock(c, d); })
-          acquired = lock.try_lock(ctx, deadline_after(patience));
+          acquired = lock.try_lock(*ctx, deadline_after(patience));
         else if constexpr (requires(Lock& l, deadline d) { l.try_lock(d); })
           acquired = lock.try_lock(deadline_after(patience));
         else
-          lock.lock(ctx);
+          lock.lock(*ctx);
       } else {
-        lock.lock(ctx);
+        lock.lock(*ctx);
       }
       if (acquired) {
         for (auto& line : shared.lines) ++line.get();
-        lock.unlock(ctx);
-        ++ops;
-      } else {
-        ++timeouts;
+        lock.unlock(*ctx);
       }
-      // Publish progress so the coordinator can snapshot mid-run.
-      slots[tid].ops.store(ops, std::memory_order_relaxed);
-      slots[tid].timeouts.store(timeouts, std::memory_order_relaxed);
       // Private think time between critical sections.
       for (unsigned i = 0; i < cfg.non_cs_work; ++i) rng.next();
-    } while (!stop.load(std::memory_order_relaxed));
-  };
+      return acquired;
+    };
+  });
 
-  std::vector<std::thread> threads;
-  threads.reserve(cfg.threads);
-  for (unsigned t = 0; t < cfg.threads; ++t) threads.emplace_back(worker, t);
-  while (ready.load(std::memory_order_acquire) != cfg.threads)
-    std::this_thread::yield();
-
-  const auto start = clock_t_::now();
-  go.store(true, std::memory_order_release);
-  spin_sleep_until(start + std::chrono::duration_cast<clock_t_::duration>(
-                               std::chrono::duration<double>(cfg.warmup_s)));
-
-  // Open the measured window: snapshot the counters, run, snapshot again.
-  std::vector<std::uint64_t> warm_ops(cfg.threads);
-  std::vector<std::uint64_t> warm_timeouts(cfg.threads);
-  for (unsigned t = 0; t < cfg.threads; ++t) {
-    warm_ops[t] = slots[t].ops.load(std::memory_order_relaxed);
-    warm_timeouts[t] = slots[t].timeouts.load(std::memory_order_relaxed);
-  }
-  const auto window_open = clock_t_::now();
-  spin_sleep_until(window_open +
-                   std::chrono::duration_cast<clock_t_::duration>(
-                       std::chrono::duration<double>(cfg.duration_s)));
-  std::vector<std::uint64_t> end_ops(cfg.threads);
-  std::vector<std::uint64_t> end_timeouts(cfg.threads);
-  for (unsigned t = 0; t < cfg.threads; ++t) {
-    end_ops[t] = slots[t].ops.load(std::memory_order_relaxed);
-    end_timeouts[t] = slots[t].timeouts.load(std::memory_order_relaxed);
-  }
-  const auto window_close = clock_t_::now();
-  stop.store(true, std::memory_order_release);
-  for (auto& th : threads) th.join();
-
-  res.elapsed_s =
-      std::chrono::duration<double>(window_close - window_open).count();
-  res.per_thread_ops.resize(cfg.threads);
-  std::vector<double> per_thread(cfg.threads);
-  for (unsigned t = 0; t < cfg.threads; ++t) {
-    res.per_thread_ops[t] = end_ops[t] - warm_ops[t];
-    res.total_ops += res.per_thread_ops[t];
-    res.timeouts += end_timeouts[t] - warm_timeouts[t];
-    per_thread[t] = static_cast<double>(res.per_thread_ops[t]);
-    if (slots[t].pinned.load(std::memory_order_relaxed)) ++res.pinned_threads;
-  }
-  res.throughput_ops_s =
-      res.elapsed_s > 0.0 ? static_cast<double>(res.total_ops) / res.elapsed_s
-                          : 0.0;
-  const summary fair = summarize(per_thread);
-  res.fairness_cv = fair.mean > 0.0 ? fair.stddev / fair.mean : 0.0;
+  detail::fill_window_result(res, totals);
 
   // Whole-run totals for the mutual-exclusion audit: the measured window is
-  // a slice of the run, so the lines are checked against the final (post-join)
-  // counters, which cover warmup and the tail after the window closed.
-  std::uint64_t whole_run_ops = 0;
-  for (unsigned t = 0; t < cfg.threads; ++t)
-    whole_run_ops += slots[t].ops.load(std::memory_order_relaxed);
-  res.whole_run_ops = whole_run_ops;
+  // a slice of the run, so the lines are checked against the final
+  // (post-join) counters, which cover warmup and the tail after the window
+  // closed.
   res.mutual_exclusion_ok = true;
   for (const auto& line : shared.lines)
-    if (line.get() != whole_run_ops) res.mutual_exclusion_ok = false;
+    if (line.get() != res.whole_run_ops) res.mutual_exclusion_ok = false;
 
   if constexpr (requires(const Lock& l) { l.stats(); }) {
     res.has_cohort_stats = true;
@@ -185,16 +96,13 @@ unsigned install_topology(unsigned clusters) {
   return clusters;
 }
 
-bench_result run_bench(const bench_config& cfg) {
-  if (cfg.threads == 0)
-    throw std::invalid_argument("bench: thread count must be positive");
-  install_topology(cfg.clusters);
+bench_result run_cs_bench(const bench_config& cfg) {
   bench_result res;
   const bool known = reg::with_lock_type(
       cfg.lock_name, {.clusters = cfg.clusters, .pass_limit = cfg.pass_limit},
       [&](auto factory) {
         auto lock = factory();
-        res = run_typed(*lock, cfg);
+        res = run_cs_typed(*lock, cfg);
       });
   if (!known)
     throw std::invalid_argument("bench: unknown lock name '" + cfg.lock_name +
@@ -202,8 +110,20 @@ bench_result run_bench(const bench_config& cfg) {
   return res;
 }
 
+bench_result run_bench(const bench_config& cfg) {
+  if (cfg.threads == 0)
+    throw std::invalid_argument("bench: thread count must be positive");
+  install_topology(cfg.clusters);
+  if (cfg.workload == "cs") return run_cs_bench(cfg);
+  if (cfg.workload == "kv") return run_kv_bench(cfg);
+  throw std::invalid_argument("bench: unknown workload '" + cfg.workload +
+                              "' (expected cs or kv)");
+}
+
 json to_json(const bench_result& r) {
+  const bool kv = r.config.workload == "kv";
   json rec = json::object();
+  rec.set("workload", r.config.workload);
   rec.set("lock", r.config.lock_name);
   rec.set("threads", r.config.threads);
   rec.set("clusters", r.clusters_used);
@@ -211,19 +131,66 @@ json to_json(const bench_result& r) {
   rec.set("duration_s", r.config.duration_s);
   rec.set("warmup_s", r.config.warmup_s);
   rec.set("elapsed_s", r.elapsed_s);
-  rec.set("cs_work", r.config.cs_work);
-  rec.set("non_cs_work", r.config.non_cs_work);
+  if (kv) {
+    rec.set("shards", static_cast<std::uint64_t>(r.config.shards));
+    rec.set("buckets", static_cast<std::uint64_t>(r.config.kv_buckets));
+    rec.set("max_items", static_cast<std::uint64_t>(r.config.kv_max_items));
+    rec.set("get_ratio", r.config.get_ratio);
+    rec.set("keyspace", static_cast<std::uint64_t>(r.config.keyspace));
+    rec.set("value_bytes", static_cast<std::uint64_t>(r.config.value_bytes));
+    rec.set("numa_place", r.config.numa_place);
+  } else {
+    rec.set("cs_work", r.config.cs_work);
+    rec.set("non_cs_work", r.config.non_cs_work);
+    // Bounded patience only exists on the cs path; kv records omit it so a
+    // configured-but-unused value cannot read as "ran with zero timeouts".
+    rec.set("patience_us", r.config.patience_us);
+  }
   rec.set("pass_limit", r.config.pass_limit);
-  rec.set("patience_us", r.config.patience_us);
   rec.set("total_ops", r.total_ops);
   rec.set("whole_run_ops", r.whole_run_ops);
   rec.set("throughput_ops_s", r.throughput_ops_s);
   rec.set("fairness_cv", r.fairness_cv);
   rec.set("timeouts", r.timeouts);
   rec.set("mutual_exclusion_ok", r.mutual_exclusion_ok);
+  if (kv) {
+    rec.set("hit_rate", r.hit_rate);
+    json kvs = json::object();
+    kvs.set("gets", r.kv.gets);
+    kvs.set("get_hits", r.kv.get_hits);
+    kvs.set("sets", r.kv.sets);
+    kvs.set("evictions", r.kv.evictions);
+    kvs.set("final_size", static_cast<std::uint64_t>(r.kv_final_size));
+    rec.set("kv", std::move(kvs));
+  }
   json ops = json::array();
   for (std::uint64_t v : r.per_thread_ops) ops.push(v);
   rec.set("per_thread_ops", std::move(ops));
+  if (kv) {
+    json per_shard = json::array();
+    for (std::size_t s = 0; s < r.shard_reports.size(); ++s) {
+      const shard_report& sr = r.shard_reports[s];
+      json sh = json::object();
+      sh.set("shard", static_cast<std::uint64_t>(s));
+      sh.set("home_cluster", sr.home_cluster);
+      sh.set("items", static_cast<std::uint64_t>(sr.items));
+      sh.set("gets", sr.kv.gets);
+      sh.set("get_hits", sr.kv.get_hits);
+      sh.set("sets", sr.kv.sets);
+      sh.set("evictions", sr.kv.evictions);
+      if (sr.has_cohort) {
+        json cs = json::object();
+        cs.set("acquisitions", sr.cohort.acquisitions);
+        cs.set("global_acquires", sr.cohort.global_acquires);
+        cs.set("local_handoffs", sr.cohort.local_handoffs);
+        cs.set("handoff_failures", sr.cohort.handoff_failures);
+        cs.set("avg_batch", sr.cohort.avg_batch());
+        sh.set("cohort", std::move(cs));
+      }
+      per_shard.push(std::move(sh));
+    }
+    rec.set("per_shard", std::move(per_shard));
+  }
   if (r.has_cohort_stats) {
     json cs = json::object();
     cs.set("acquisitions", r.cohort.acquisitions);
@@ -239,13 +206,25 @@ json to_json(const bench_result& r) {
 
 std::string to_text(const bench_result& r) {
   char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "%-12s threads=%-3u  %12.0f ops/s  cv=%5.1f%%  batch=%6.2f%s%s",
-                r.config.lock_name.c_str(), r.config.threads,
-                r.throughput_ops_s, 100.0 * r.fairness_cv,
-                r.has_cohort_stats ? r.cohort.avg_batch() : 0.0,
-                r.timeouts > 0 ? "  (timeouts)" : "",
-                r.mutual_exclusion_ok ? "" : "  [MUTEX VIOLATION]");
+  if (r.config.workload == "kv") {
+    std::snprintf(
+        buf, sizeof(buf),
+        "kv %-12s threads=%-3u shards=%-3zu %12.0f ops/s  hit=%5.1f%%  "
+        "cv=%5.1f%%  batch=%6.2f%s",
+        r.config.lock_name.c_str(), r.config.threads, r.config.shards,
+        r.throughput_ops_s, 100.0 * r.hit_rate, 100.0 * r.fairness_cv,
+        r.has_cohort_stats ? r.cohort.avg_batch() : 0.0,
+        r.mutual_exclusion_ok ? "" : "  [COUNTER AUDIT FAILED]");
+  } else {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%-12s threads=%-3u  %12.0f ops/s  cv=%5.1f%%  batch=%6.2f%s%s",
+        r.config.lock_name.c_str(), r.config.threads, r.throughput_ops_s,
+        100.0 * r.fairness_cv,
+        r.has_cohort_stats ? r.cohort.avg_batch() : 0.0,
+        r.timeouts > 0 ? "  (timeouts)" : "",
+        r.mutual_exclusion_ok ? "" : "  [MUTEX VIOLATION]");
+  }
   return buf;
 }
 

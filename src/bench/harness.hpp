@@ -2,12 +2,22 @@
 //
 // This is the repository's real-hardware counterpart of the simulated LBench
 // (sim/apps/lbench.*): N OS threads, pinned round-robin across the NUMA
-// clusters of the discovered topology, hammer one lock around a critical
-// section that touches shared cache lines, with configurable private work
-// between acquisitions.  Measured outputs follow the paper's evaluation:
-// throughput (Figures 2/4), fairness as the per-thread op-count CV
-// (Figure 5), timeouts for abortable locks (Figure 6), and the average
-// cohort batch length that explains the speedups (§3.7).
+// clusters of the discovered topology, drive a workload against one lock
+// configuration.  Two workloads share the windowed-measurement skeleton
+// (bench/driver.hpp):
+//
+//   "cs"  -- the paper's microbenchmark: one lock around a critical section
+//            that writes shared cache lines, private work between
+//            acquisitions (Figures 2/4/5/6).
+//   "kv"  -- an application workload: a memaslap-style get/set mix against
+//            the sharded kv engine (kvstore/sharded_store.hpp), with shard
+//            count, get ratio, keyspace and NUMA placement as runtime axes
+//            (the Table 1 experiment grown into a lock x shards matrix).
+//
+// Measured outputs follow the paper's evaluation: throughput, fairness as
+// the per-thread op-count CV (Figure 5), timeouts for abortable locks
+// (Figure 6), and the cohort batch lengths that explain the speedups (§3.7)
+// -- per shard for the kv workload.
 #pragma once
 
 #include <cstdint>
@@ -15,23 +25,46 @@
 #include <vector>
 
 #include "bench/json.hpp"
+#include "kvstore/kv_shard.hpp"
 #include "locks/registry.hpp"
 
 namespace cohort::bench {
 
 struct bench_config {
+  std::string workload = "cs";  // "cs" or "kv"
   std::string lock_name = "C-BO-MCS";
   unsigned threads = 4;
   double duration_s = 1.0;   // measured window
   double warmup_s = 0.1;     // settle time before the window opens
-  unsigned cs_work = 4;      // shared cache lines written per critical section
-  unsigned non_cs_work = 64; // private RNG steps between critical sections
   unsigned clusters = 0;     // 0 = discovered topology
   std::uint64_t pass_limit = 64;  // cohort may-pass-local bound
   bool pin = true;           // pin threads to their cluster's CPUs
   // > 0: abortable locks acquire with bounded patience and count timeouts;
-  // non-abortable locks ignore it.
+  // non-abortable locks ignore it.  ("cs" workload only.)
   std::uint64_t patience_us = 0;
+
+  // "cs" workload parameters.
+  unsigned cs_work = 4;      // shared cache lines written per critical section
+  unsigned non_cs_work = 64; // private RNG steps between critical sections
+
+  // "kv" workload parameters.
+  std::size_t shards = 1;          // independent shards (1 = single cache lock)
+  std::size_t kv_buckets = 1024;   // hash buckets per shard
+  std::size_t kv_max_items = 0;    // total eviction budget (0 = no eviction)
+  double get_ratio = 0.9;          // fraction of ops that are gets
+  std::size_t keyspace = 10'000;   // distinct keys (prefilled before the run)
+  std::size_t value_bytes = 64;    // payload size per value
+  bool numa_place = false;         // first-touch shards on their home cluster
+};
+
+// Post-run snapshot of one shard ("kv" workload): its kv counters plus its
+// lock's cohort batching counters when the lock keeps them.
+struct shard_report {
+  unsigned home_cluster = 0;
+  std::size_t items = 0;       // resident items at quiescence
+  kvstore::kv_stats kv{};
+  bool has_cohort = false;
+  reg::erased_stats cohort{};
 };
 
 struct bench_result {
@@ -41,13 +74,13 @@ struct bench_result {
   unsigned pinned_threads = 0;  // threads whose CPU affinity call succeeded
   double elapsed_s = 0.0;       // actual measured-window length
 
-  std::uint64_t total_ops = 0;  // completed critical sections in the window
-  // Completed critical sections over the whole run (warmup + window + tail).
-  // Every worker performs at least one acquisition attempt, so with infinite
-  // patience this is >= threads -- the liveness signal even when a heavily
-  // loaded host deschedules the workers for the entire measured window.
-  // (With patience_us > 0 an attempt may time out and count in timeouts
-  // instead, so check whole_run_ops + timeouts in that mode.)
+  std::uint64_t total_ops = 0;  // completed operations in the window
+  // Completed operations over the whole run (warmup + window + tail).
+  // Every worker performs at least one attempt, so with infinite patience
+  // this is >= threads -- the liveness signal even when a heavily loaded
+  // host deschedules the workers for the entire measured window.  (With
+  // patience_us > 0 an attempt may time out and count in timeouts instead,
+  // so check whole_run_ops + timeouts in that mode.)
   std::uint64_t whole_run_ops = 0;
   double throughput_ops_s = 0.0;
   std::vector<std::uint64_t> per_thread_ops;
@@ -57,12 +90,23 @@ struct bench_result {
   std::uint64_t timeouts = 0;   // failed bounded-patience acquisitions
 
   // Whole-run (warmup included) cohort statistics; absent for plain locks.
+  // For the kv workload this is the sum over all shard locks.
   bool has_cohort_stats = false;
   reg::erased_stats cohort{};
 
-  // Every critical section increments each shared line once; after the run
-  // all lines must agree with the total acquisition count.
+  // Lock-coherence audit.  "cs": every critical section increments each
+  // shared line once, and after the run all lines must equal the whole-run
+  // acquisition count.  "kv": every operation bumps exactly one
+  // unsynchronised kv counter under its shard lock, so at quiescence
+  // gets + sets must equal whole-run ops plus the prefill sets (a broken
+  // lock loses counter updates).
   bool mutual_exclusion_ok = false;
+
+  // "kv" workload outputs (whole run, read at quiescence after join).
+  kvstore::kv_stats kv{};
+  std::size_t kv_final_size = 0;
+  double hit_rate = 0.0;
+  std::vector<shard_report> shard_reports;
 };
 
 // Installs a topology honouring cfg.clusters: the discovered topology
@@ -71,8 +115,9 @@ struct bench_result {
 // cluster count in effect.
 unsigned install_topology(unsigned clusters);
 
-// Runs one measured repetition of cfg against the named registry lock.
-// Throws std::invalid_argument for unknown lock names.
+// Runs one measured repetition of cfg against the named registry lock,
+// dispatching on cfg.workload.  Throws std::invalid_argument for unknown
+// lock names, unknown workloads, or out-of-range parameters.
 bench_result run_bench(const bench_config& cfg);
 
 // One machine-readable trajectory record.

@@ -1,4 +1,4 @@
-#include "kvstore/kvstore.hpp"
+#include "kvstore/kv_shard.hpp"
 
 namespace kvstore {
 

@@ -1,0 +1,13 @@
+#include "kvstore/sharded_store.hpp"
+
+namespace kvstore {
+
+std::unique_ptr<any_sharded_store> make_any_sharded_store(
+    const std::string& lock_name, const kv_config& cfg,
+    const cohort::reg::lock_params& lp) {
+  if (!cohort::reg::is_lock_name(lock_name)) return nullptr;
+  return std::make_unique<any_sharded_store>(
+      cfg, [&] { return cohort::reg::make_lock(lock_name, lp); });
+}
+
+}  // namespace kvstore
