@@ -1,39 +1,53 @@
 // Real-machine allocator benchmark (google-benchmark): mmicro's
-// allocate/initialise/free loop against the real single-lock splay-tree
-// arena, with the lock dispatched by registry name (the Table 2 code path
-// executed for real).
+// allocate/write/free loop against the real single-lock splay-tree arena,
+// with the lock dispatched by registry name (the Table 2 code path executed
+// for real).  The loop itself is the shared alloc-workload implementation
+// (src/bench/alloc_workload.hpp) -- the same code `cohort_bench --workload
+// alloc` measures under the windowed driver, so the two harnesses cannot
+// drift apart.
 #include <benchmark/benchmark.h>
 
-#include <cstring>
 #include <memory>
 #include <string>
 
-#include "alloc/arena.hpp"
+#include "bench/alloc_workload.hpp"
 #include "locks/registry.hpp"
 #include "numa/topology.hpp"
 
 namespace {
 
+using cohort::bench::alloc::arena_set;
+using cohort::bench::alloc::mmicro_params;
+using cohort::bench::alloc::mmicro_worker;
+
 template <typename Lock>
 struct arena_fixture {
-  std::unique_ptr<cohortalloc::arena<Lock>> arena;
+  std::unique_ptr<arena_set<Lock>> arenas;
 };
 
 template <typename Lock>
 void bench_mmicro(benchmark::State& state,
                   std::shared_ptr<arena_fixture<Lock>> fix) {
   if (state.thread_index() == 0)
-    fix->arena = std::make_unique<cohortalloc::arena<Lock>>(16u << 20);
-  cohort::numa::set_thread_cluster(
-      static_cast<unsigned>(state.thread_index()));
+    fix->arenas = std::make_unique<arena_set<Lock>>(
+        16u << 20, /*per_cluster=*/false,
+        [] { return std::make_unique<Lock>(); });
+  const unsigned tid = static_cast<unsigned>(state.thread_index());
+  cohort::numa::set_thread_cluster(tid);
+  // mmicro's defaults: 64-byte blocks, first four words written, a small
+  // per-thread working set recycled LIFO-ish through the ring.
+  mmicro_worker<cohortalloc::arena<Lock>> worker(
+      tid, mmicro_params{.alloc_min = 64, .alloc_max = 64, .working_set = 8});
+  // fix->arenas is only safe to dereference once the state loop's start
+  // barrier has let thread 0 finish constructing it.
+  cohortalloc::arena<Lock>* arena = nullptr;
   for (auto _ : state) {
-    void* p = fix->arena->allocate(64);
-    if (p != nullptr) {
-      // mmicro writes the first four words of every block.
-      std::memset(p, 0xab, 32);
-      fix->arena->deallocate(p);
-    }
+    if (arena == nullptr) arena = &fix->arenas->for_cluster(tid);
+    benchmark::DoNotOptimize(worker.step(*arena));
   }
+  if (arena != nullptr) worker.drain(*arena);
+  if (worker.tag_mismatches() != 0)
+    state.SkipWithError("owner-tag mismatch: block handed out twice");
   state.SetItemsProcessed(state.iterations());
 }
 
@@ -44,7 +58,7 @@ int main(int argc, char** argv) {
 
   for (const auto& name : cohort::reg::table_lock_names()) {
     // Params would be dead here: only the lock *type* is used, and the
-    // arena default-constructs its lock from the global topology above.
+    // fixture default-constructs its locks from the global topology above.
     cohort::reg::with_lock_type(name, {}, [&](auto factory) {
       using lock_t = typename decltype(factory())::element_type;
       auto fix = std::make_shared<arena_fixture<lock_t>>();

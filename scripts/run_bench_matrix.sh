@@ -1,10 +1,19 @@
 #!/usr/bin/env bash
 # Dump the full real-thread benchmark matrix to a BENCH_real.json trajectory
-# file: every registry lock on the "cs" microbenchmark, plus a
-# lock x shard-count sweep of the "kv" application workload, merged into one
-# JSON array.
+# file: every registry lock on the "cs" microbenchmark, a lock x shard-count
+# sweep of the "kv" application workload recorded as placed/unplaced pairs
+# (the NUMA-placement ablation: identical configs differing only in
+# numa_place, so a real NUMA box can diff first-touch placement against
+# lock-carried NUMA awareness directly), and every registry lock on the
+# "alloc" (mmicro) workload, merged into one JSON array.  Every record
+# carries windows[] batch-length telemetry.
 #
-#   scripts/run_bench_matrix.sh [out.json]
+#   scripts/run_bench_matrix.sh [--dry-run] [out.json]
+#
+# The lock and workload axes are enumerated from the cohort_bench binary
+# (--list / --list-workloads), so this script cannot drift from the
+# registries; --dry-run validates that enumeration and prints every run it
+# would launch without executing any (CI runs it on each push).
 #
 # Environment knobs:
 #   BUILD_DIR  cmake build directory holding cohort_bench   (default: build)
@@ -17,34 +26,85 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+DRY_RUN=0
+OUT=BENCH_real.json
+for arg in "$@"; do
+  case "$arg" in
+    --dry-run) DRY_RUN=1 ;;
+    -h|--help) awk 'NR>1 && !/^#/{exit} NR>1{sub(/^# ?/,""); print}' "$0"; exit 0 ;;
+    -*) echo "error: unknown option '$arg' (supported: --dry-run)" >&2; exit 2 ;;
+    *) OUT=$arg ;;
+  esac
+done
+
 BUILD_DIR=${BUILD_DIR:-build}
-OUT=${1:-BENCH_real.json}
 THREADS=${THREADS:-$(nproc)}
 DURATION=${DURATION:-1}
 REPS=${REPS:-3}
 KV_LOCKS=${KV_LOCKS:-pthread C-TKT-TKT C-BO-MCS}
 KV_SHARDS=${KV_SHARDS:-1 4 16}
 
-if [ ! -x "$BUILD_DIR/cohort_bench" ]; then
-  echo "error: $BUILD_DIR/cohort_bench not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+BENCH="$BUILD_DIR/cohort_bench"
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
   exit 1
 fi
+
+# Enumerate both registries from the binary and cross-check this script's
+# own axes against them, so a renamed lock or workload fails loudly here.
+mapfile -t ALL_LOCKS < <("$BENCH" --list)
+WORKLOADS=$("$BENCH" --list-workloads | awk '/^[a-z]/ { print $1 }')
+for wl in cs kv alloc; do
+  if ! grep -qx "$wl" <<<"$WORKLOADS"; then
+    echo "error: workload '$wl' missing from $BENCH --list-workloads" >&2
+    exit 1
+  fi
+done
+for lock in $KV_LOCKS; do
+  if ! printf '%s\n' "${ALL_LOCKS[@]}" | grep -qx "$lock"; then
+    echo "error: KV_LOCKS entry '$lock' is not a registry lock (see $BENCH --list)" >&2
+    exit 1
+  fi
+done
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
-# Lock-overhead matrix: every registry lock on the cs microbenchmark.
-"$BUILD_DIR/cohort_bench" --all --threads "$THREADS" --duration "$DURATION" \
-  --reps "$REPS" --json > "$tmpdir/cs.json"
+run() {  # run <output-file> <cohort_bench args...>
+  local out=$1
+  shift
+  if [ "$DRY_RUN" = 1 ]; then
+    echo "would run: $BENCH $*"
+  else
+    "$BENCH" "$@" > "$out"
+  fi
+}
 
-# Application matrix: kv workload, lock x shard-count sweep.
+# Lock-overhead matrix: every registry lock on the cs microbenchmark.
+run "$tmpdir/cs.json" --all --threads "$THREADS" --duration "$DURATION" \
+  --reps "$REPS" --json
+
+# Application matrix: kv workload, lock x shard-count sweep, recorded as a
+# placed/unplaced ablation pair per configuration (numa_place: false/true).
 kv_lock_args=()
 for lock in $KV_LOCKS; do kv_lock_args+=(--lock "$lock"); done
 for shards in $KV_SHARDS; do
-  "$BUILD_DIR/cohort_bench" --workload kv "${kv_lock_args[@]}" \
+  run "$tmpdir/kv-$shards.json" --workload kv "${kv_lock_args[@]}" \
     --threads "$THREADS" --shards "$shards" --duration "$DURATION" \
-    --reps "$REPS" --json > "$tmpdir/kv-$shards.json"
+    --reps "$REPS" --json
+  run "$tmpdir/kv-$shards-placed.json" --workload kv "${kv_lock_args[@]}" \
+    --threads "$THREADS" --shards "$shards" --duration "$DURATION" \
+    --reps "$REPS" --numa-place --json
 done
+
+# Allocator matrix: every registry lock on the mmicro loop (Table 2's axis).
+run "$tmpdir/alloc.json" --workload alloc --all --threads "$THREADS" \
+  --duration "$DURATION" --reps "$REPS" --json
+
+if [ "$DRY_RUN" = 1 ]; then
+  echo "dry run: ${#ALL_LOCKS[@]} locks, workloads: $(echo $WORKLOADS | tr '\n' ' ')" >&2
+  exit 0
+fi
 
 # Merge all record sets (cohort_bench prints a bare object for a single run,
 # an array otherwise) into one flat array.

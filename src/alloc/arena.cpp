@@ -172,6 +172,17 @@ chunk* arena_core::first_chunk() const {
   return reinterpret_cast<chunk*>(memory_.get());
 }
 
+void arena_core::prefault() {
+  // One volatile read-write per page: faults every page in from the calling
+  // thread without disturbing the heap structure (reads then rewrites the
+  // byte that is already there).
+  constexpr std::size_t page = 4096;
+  for (std::size_t off = 0; off < capacity_; off += page) {
+    volatile char* p = memory_.get() + off;
+    *p = *p;
+  }
+}
+
 void arena_core::tree_insert(chunk* c) {
   splay_node* n = c->node();
   n->key = c->size;

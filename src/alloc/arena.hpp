@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "alloc/splay.hpp"
 #include "cohort/cohort_lock.hpp"
@@ -76,6 +77,11 @@ class arena_core {
   const arena_stats& stats() const noexcept { return stats_; }
   std::size_t capacity() const noexcept { return capacity_; }
 
+  // Touches one byte per page so the arena's backing memory is faulted in --
+  // and therefore NUMA-placed -- by the calling thread, mirroring
+  // kv_shard::prefault().  Call before handing the arena to other threads.
+  void prefault();
+
   // Walks the heap validating boundary tags and tree membership (tests).
   bool check_heap() const;
 
@@ -91,32 +97,61 @@ class arena_core {
 };
 
 // The thread-safe allocator: arena_core guarded by any lock with a context
-// (the paper's cohort locks, the classic locks, or pthread_lock).
+// (the paper's cohort locks, the classic locks, or pthread_lock).  The lock
+// is either default-constructed or supplied by a factory, which is how the
+// registry's name-dispatched, parameterised locks (pass limit, cluster
+// count) get injected by the alloc benchmark workload.
 template <typename Lock = cohort::c_tkt_tkt_lock>
 class arena {
  public:
-  explicit arena(std::size_t capacity_bytes) : core_(capacity_bytes) {}
+  explicit arena(std::size_t capacity_bytes)
+      : core_(capacity_bytes), lock_(std::make_unique<Lock>()) {}
+
+  // make_lock: () -> std::unique_ptr<Lock> (a reg::with_lock_type factory).
+  template <typename Factory>
+    requires requires(Factory f) {
+      { f() } -> std::convertible_to<std::unique_ptr<Lock>>;
+    }
+  arena(std::size_t capacity_bytes, Factory&& make_lock)
+      : core_(capacity_bytes), lock_(make_lock()) {}
 
   void* allocate(std::size_t n) {
-    cohort::scoped<Lock> g(lock_);
+    cohort::scoped<Lock> g(*lock_);
     return core_.allocate(n);
   }
 
   void deallocate(void* p) {
-    cohort::scoped<Lock> g(lock_);
+    cohort::scoped<Lock> g(*lock_);
     core_.deallocate(p);
   }
 
   arena_stats stats() {
-    cohort::scoped<Lock> g(lock_);
+    cohort::scoped<Lock> g(*lock_);
     return core_.stats();
   }
 
-  Lock& lock() noexcept { return lock_; }
+  // Quiescent reads (after all users joined): the allocator counters are
+  // mutated under the lock, so lock-free reads need an idle arena.
+  const arena_stats& quiescent_stats() const noexcept { return core_.stats(); }
+  bool check_heap() const { return core_.check_heap(); }
+  std::size_t capacity() const noexcept { return core_.capacity(); }
+  void prefault() { core_.prefault(); }
+
+  // The lock's cohort batching counters when it keeps them; relaxed-atomic
+  // cells, so -- unlike the allocator counters -- safe to sample mid-run
+  // (the benchmark's windows[] telemetry does).
+  std::optional<cohort::cohort_stats> lock_stats() const {
+    if constexpr (requires(const Lock& l) { l.stats(); })
+      return cohort::cohort_stats(lock_->stats());
+    else
+      return std::nullopt;
+  }
+
+  Lock& lock() noexcept { return *lock_; }
 
  private:
   arena_core core_;
-  Lock lock_;
+  std::unique_ptr<Lock> lock_;
 };
 
 }  // namespace cohortalloc

@@ -1,14 +1,21 @@
-// cohort_bench: real-thread benchmark CLI over the registry locks.
+// cohort_bench: real-thread benchmark CLI over the registry locks and the
+// registry workloads.
 //
 //   cohort_bench --lock C-BO-MCS --threads 8 --duration 1 --json
 //   cohort_bench --all --threads 4 --duration 0.2 --json   # full registry
 //   cohort_bench --workload kv --shards 4 --get-ratio 0.9 --json
-//   cohort_bench --list                                    # name list
+//   cohort_bench --workload alloc --numa-place --json
+//   cohort_bench --list                                    # lock names
+//   cohort_bench --list-workloads                          # workload names
 //
-// Two workloads: "cs" (the paper's critical-section microbenchmark) and
-// "kv" (a get/set mix against the sharded kv engine).  Emits one JSON
-// record per (lock, repetition) -- a single object for one run, a JSON
-// array otherwise -- shaped for the BENCH_*.json trajectory files (see
+// Workloads come from the bench/workload.hpp registry (the paper's three
+// evaluation applications: cs, kv, alloc); the usage text, the
+// --list-workloads listing and the name validation all enumerate the
+// descriptors, so those stay in sync automatically -- only the per-flag
+// option parsing below needs a hand-written branch per new flag.  Emits one
+// JSON record per
+// (lock, repetition) -- a single object for one run, a JSON array otherwise
+// -- shaped for the BENCH_*.json trajectory files (see
 // scripts/run_bench_matrix.sh).
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "bench/workload.hpp"
 #include "locks/registry.hpp"
 #include "numa/topology.hpp"
 
@@ -27,29 +35,36 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --workload W      cs | kv (default cs)\n"
+      "  --workload W      %s (default cs)\n"
       "  --lock NAME       lock to drive (default C-BO-MCS); repeatable\n"
       "  --all             run every registry lock\n"
       "  --list            print the registry lock names and exit\n"
+      "  --list-workloads  print the registered workloads and their flags\n"
       "  --threads N       worker threads (default 4)\n"
       "  --duration S      measured seconds per run (default 1.0)\n"
       "  --warmup S        warmup seconds before measuring (default 0.1)\n"
-      "  --cs-work N       [cs] shared cache lines written per CS (default 4)\n"
-      "  --non-cs-work N   [cs] private work units between CSs (default 64)\n"
-      "  --shards N        [kv] independent shards (default 1)\n"
-      "  --get-ratio G     [kv] fraction of gets, 0..1 (default 0.9)\n"
-      "  --keyspace K      [kv] distinct keys, prefilled (default 10000)\n"
-      "  --value-bytes N   [kv] value payload size (default 64)\n"
-      "  --buckets N       [kv] hash buckets per shard (default 1024)\n"
-      "  --max-items N     [kv] total eviction budget (default 0 = off)\n"
-      "  --numa-place      [kv] first-touch shards on their home cluster\n"
+      "  --windows N       telemetry windows over the measured run\n"
+      "                    (default 8; 0 = boundary samples only)\n"
       "  --reps N          repetitions per lock (default 1)\n"
       "  --clusters N      override cluster count (default: discovered)\n"
       "  --pass-limit N    cohort may-pass-local bound (default 64)\n"
-      "  --patience-us N   [cs] bounded patience for abortable locks (default 0)\n"
       "  --no-pin          skip CPU pinning\n"
       "  --json            emit JSON instead of a text summary\n",
-      argv0);
+      argv0, cohort::bench::workload_names_joined().c_str());
+  for (const auto& w : cohort::bench::all_workloads()) {
+    std::fprintf(stderr, "workload %s -- %s\n", w.name, w.summary);
+    for (const auto& f : w.flags)
+      std::fprintf(stderr, "  %-17s [%s] %s\n", f.flag, w.name, f.help);
+  }
+}
+
+void list_workloads() {
+  for (const auto& w : cohort::bench::all_workloads()) {
+    std::printf("%s -- %s\n", w.name, w.summary);
+    std::printf("  audit: %s\n", w.audit);
+    for (const auto& f : w.flags)
+      std::printf("  %-17s %s\n", f.flag, f.help);
+  }
 }
 
 bool parse_unsigned(const char* s, unsigned long long& out) {
@@ -88,9 +103,13 @@ int main(int argc, char** argv) {
       locks.emplace_back(next());
     } else if (arg == "--workload") {
       cfg.workload = next();
-      if (cfg.workload != "cs" && cfg.workload != "kv") {
-        std::fprintf(stderr, "%s: unknown workload '%s' (cs or kv)\n", argv[0],
-                     cfg.workload.c_str());
+      // Fail fast, listing the registered names -- never default silently.
+      if (!cohort::bench::is_workload_name(cfg.workload)) {
+        std::fprintf(stderr,
+                     "%s: unknown workload '%s' (registered: %s; see "
+                     "--list-workloads)\n",
+                     argv[0], cfg.workload.c_str(),
+                     cohort::bench::workload_names_joined().c_str());
         return 2;
       }
     } else if (arg == "--all") {
@@ -98,6 +117,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--list") {
       for (const auto& name : cohort::reg::all_lock_names())
         std::printf("%s\n", name.c_str());
+      return 0;
+    } else if (arg == "--list-workloads") {
+      list_workloads();
       return 0;
     } else if (arg == "--threads" && parse_unsigned(next(), n) && n > 0) {
       cfg.threads = static_cast<unsigned>(n);
@@ -123,6 +145,16 @@ int main(int argc, char** argv) {
       cfg.kv_max_items = static_cast<std::size_t>(n);
     } else if (arg == "--numa-place") {
       cfg.numa_place = true;
+    } else if (arg == "--alloc-min" && parse_unsigned(next(), n) && n > 0) {
+      cfg.alloc_min = static_cast<std::size_t>(n);
+    } else if (arg == "--alloc-max" && parse_unsigned(next(), n) && n > 0) {
+      cfg.alloc_max = static_cast<std::size_t>(n);
+    } else if (arg == "--working-set" && parse_unsigned(next(), n) && n > 0) {
+      cfg.working_set = static_cast<std::size_t>(n);
+    } else if (arg == "--arena-mb" && parse_unsigned(next(), n) && n > 0) {
+      cfg.arena_mb = static_cast<std::size_t>(n);
+    } else if (arg == "--windows" && parse_unsigned(next(), n)) {
+      cfg.snap_windows = static_cast<unsigned>(n);
     } else if (arg == "--reps" && parse_unsigned(next(), n) && n > 0) {
       reps = static_cast<unsigned>(n);
     } else if (arg == "--clusters" && parse_unsigned(next(), n)) {
@@ -152,8 +184,13 @@ int main(int argc, char** argv) {
 
   for (const auto& name : locks) {
     if (!cohort::reg::is_lock_name(name)) {
-      std::fprintf(stderr, "%s: unknown lock '%s' (see --list)\n", argv[0],
-                   name.c_str());
+      std::string known;
+      for (const auto& l : cohort::reg::all_lock_names()) {
+        if (!known.empty()) known += ", ";
+        known += l;
+      }
+      std::fprintf(stderr, "%s: unknown lock '%s' (registered: %s)\n",
+                   argv[0], name.c_str(), known.c_str());
       return 2;
     }
   }

@@ -1,14 +1,15 @@
 // Windowed-measurement skeleton shared by the cohort_bench workloads
 // (DESIGN.md §4): thread creation, pinning, start barrier, warmup, the
-// measured window with counter snapshots, and the fairness/throughput
-// reduction.  A workload plugs in as a per-thread body -- "cs" (harness.cpp)
-// and "kv" (kv_workload.cpp) today; an allocator workload or a storage
-// backend can reuse the same skeleton without touching the timing logic.
+// measured window bracketed by counter snapshots, a mid-run sampling loop
+// feeding the windows[] telemetry, and the fairness/throughput reduction.
+// A workload plugs in as a per-thread body plus a counter sampler; the
+// registered workloads live in workload.hpp ("cs", "kv", "alloc").
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -18,12 +19,6 @@
 #include "util/stats.hpp"
 
 namespace cohort::bench {
-
-// The two built-in workloads, dispatched by run_bench() on
-// bench_config::workload.
-bench_result run_cs_bench(const bench_config& cfg);
-bench_result run_kv_bench(const bench_config& cfg);
-
 namespace detail {
 
 using bench_clock = std::chrono::steady_clock;
@@ -34,22 +29,43 @@ struct alignas(cache_line_size) thread_slot {
   std::atomic<bool> pinned{false};
 };
 
+// One mid-run counter sample, taken by the coordinator while the workers
+// run.  Thread op counters are atomics and cohort counters are relaxed
+// single-writer cells (cohort_counters), so sampling is race-free.
+struct window_sample {
+  double t_s = 0.0;            // seconds since the start barrier opened
+  std::uint64_t ops = 0;       // completed ops, summed over threads
+  std::uint64_t timeouts = 0;
+  bool has_stats = false;      // cohort batching counters were available
+  reg::erased_stats stats{};   // summed over the workload's locks
+};
+
 struct window_totals {
   unsigned pinned_threads = 0;
   double elapsed_s = 0.0;                     // actual measured-window length
   std::vector<std::uint64_t> window_ops;      // per thread, window only
   std::uint64_t window_timeouts = 0;
   std::uint64_t whole_run_ops = 0;            // warmup + window + tail
+  std::uint64_t whole_run_timeouts = 0;
+  std::vector<window_sample> samples;         // start, warmup end, ..., close
+  std::size_t warmup_boundary = 0;  // samples index where the window opened
 };
 
 // Runs cfg.threads workers against a workload body.  make_body(tid) is
 // invoked on the worker's own thread (after pinning / cluster assignment)
 // and must return a callable `bool ()` performing exactly one operation:
-// true counts as a completed op, false as a timeout.  Bodies run in a
-// do-while, so every worker attempts at least one operation even if the
-// window elapses while it is descheduled.
-template <typename MakeBody>
-window_totals run_window(const bench_config& cfg, MakeBody&& make_body) {
+// true counts as a completed op, false as a timeout (or failed allocation).
+// Bodies run in a do-while, so every worker attempts at least one operation
+// even if the window elapses while it is descheduled.
+//
+// sample_stats() is called by the coordinator at every snapshot point --
+// concurrently with the workers -- and must return the summed cohort
+// batching counters of the workload's locks (nullopt when the lock type
+// keeps none).  Implementations must only touch race-free state: the
+// cohort_counters cells qualify, unsynchronised workload counters do not.
+template <typename MakeBody, typename SampleStats>
+window_totals run_window(const bench_config& cfg, MakeBody&& make_body,
+                         SampleStats&& sample_stats) {
   const auto& topo = numa::system_topology();
   const unsigned clusters = topo.clusters();
 
@@ -89,36 +105,72 @@ window_totals run_window(const bench_config& cfg, MakeBody&& make_body) {
   while (ready.load(std::memory_order_acquire) != cfg.threads)
     std::this_thread::yield();
 
-  const auto start = bench_clock::now();
-  go.store(true, std::memory_order_release);
-  std::this_thread::sleep_until(
-      start + std::chrono::duration_cast<bench_clock::duration>(
-                  std::chrono::duration<double>(cfg.warmup_s)));
+  // Snapshot schedule, as offsets from the start barrier: the warmup end
+  // and the window close are mandatory (they bracket the measured window
+  // exactly); snap_windows > 0 adds interior samples every
+  // duration / snap_windows seconds, during warmup and the window alike.
+  const double period =
+      cfg.snap_windows > 0 ? cfg.duration_s / cfg.snap_windows : 0.0;
+  std::vector<double> marks;
+  std::size_t warmup_boundary = 0;  // index into samples, where samples[0]=t0
+  if (cfg.warmup_s > 0.0) {
+    if (period > 0.0)
+      for (double t = period; t < cfg.warmup_s - 0.5 * period; t += period)
+        marks.push_back(t);
+    marks.push_back(cfg.warmup_s);
+    warmup_boundary = marks.size();  // samples index = marks index + 1
+  }
+  if (period > 0.0)
+    for (unsigned k = 1; k < cfg.snap_windows; ++k)
+      marks.push_back(cfg.warmup_s + k * period);
+  marks.push_back(cfg.warmup_s + cfg.duration_s);
 
-  // Open the measured window: snapshot the counters, run, snapshot again.
+  window_totals w;
+  w.warmup_boundary = warmup_boundary;
   std::vector<std::uint64_t> warm_ops(cfg.threads);
   std::vector<std::uint64_t> warm_timeouts(cfg.threads);
-  for (unsigned t = 0; t < cfg.threads; ++t) {
-    warm_ops[t] = slots[t].ops.load(std::memory_order_relaxed);
-    warm_timeouts[t] = slots[t].timeouts.load(std::memory_order_relaxed);
-  }
-  const auto window_open = bench_clock::now();
-  std::this_thread::sleep_until(
-      window_open + std::chrono::duration_cast<bench_clock::duration>(
-                        std::chrono::duration<double>(cfg.duration_s)));
   std::vector<std::uint64_t> end_ops(cfg.threads);
   std::vector<std::uint64_t> end_timeouts(cfg.threads);
-  for (unsigned t = 0; t < cfg.threads; ++t) {
-    end_ops[t] = slots[t].ops.load(std::memory_order_relaxed);
-    end_timeouts[t] = slots[t].timeouts.load(std::memory_order_relaxed);
+
+  const auto start = bench_clock::now();
+  auto take_sample = [&](std::vector<std::uint64_t>* ops_out,
+                         std::vector<std::uint64_t>* timeouts_out) {
+    window_sample s;
+    s.t_s = std::chrono::duration<double>(bench_clock::now() - start).count();
+    for (unsigned t = 0; t < cfg.threads; ++t) {
+      const std::uint64_t o = slots[t].ops.load(std::memory_order_relaxed);
+      const std::uint64_t to =
+          slots[t].timeouts.load(std::memory_order_relaxed);
+      s.ops += o;
+      s.timeouts += to;
+      if (ops_out != nullptr) (*ops_out)[t] = o;
+      if (timeouts_out != nullptr) (*timeouts_out)[t] = to;
+    }
+    if (auto st = sample_stats()) {
+      s.has_stats = true;
+      s.stats = *st;
+    }
+    w.samples.push_back(s);
+  };
+
+  go.store(true, std::memory_order_release);
+  take_sample(warmup_boundary == 0 ? &warm_ops : nullptr,
+              warmup_boundary == 0 ? &warm_timeouts : nullptr);
+  for (std::size_t m = 0; m < marks.size(); ++m) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<bench_clock::duration>(
+                    std::chrono::duration<double>(marks[m])));
+    const bool opens_window = m + 1 == warmup_boundary;
+    const bool closes_window = m + 1 == marks.size();
+    take_sample(opens_window ? &warm_ops : closes_window ? &end_ops : nullptr,
+                opens_window      ? &warm_timeouts
+                : closes_window ? &end_timeouts
+                                  : nullptr);
   }
-  const auto window_close = bench_clock::now();
   stop.store(true, std::memory_order_release);
   for (auto& th : threads) th.join();
 
-  window_totals w;
-  w.elapsed_s =
-      std::chrono::duration<double>(window_close - window_open).count();
+  w.elapsed_s = w.samples.back().t_s - w.samples[warmup_boundary].t_s;
   w.window_ops.resize(cfg.threads);
   for (unsigned t = 0; t < cfg.threads; ++t) {
     w.window_ops[t] = end_ops[t] - warm_ops[t];
@@ -126,18 +178,20 @@ window_totals run_window(const bench_config& cfg, MakeBody&& make_body) {
     if (slots[t].pinned.load(std::memory_order_relaxed)) ++w.pinned_threads;
     // Post-join counters cover warmup and the tail after the window closed.
     w.whole_run_ops += slots[t].ops.load(std::memory_order_relaxed);
+    w.whole_run_timeouts += slots[t].timeouts.load(std::memory_order_relaxed);
   }
   return w;
 }
 
 // Fills the window-derived fields of a bench_result (throughput, fairness,
-// per-thread ops, timeouts, pinning, whole-run total).
+// per-thread ops, timeouts, pinning, whole-run totals, windows[]).
 inline void fill_window_result(bench_result& res, const window_totals& w) {
   res.pinned_threads = w.pinned_threads;
   res.elapsed_s = w.elapsed_s;
   res.per_thread_ops = w.window_ops;
   res.timeouts = w.window_timeouts;
   res.whole_run_ops = w.whole_run_ops;
+  res.whole_run_timeouts = w.whole_run_timeouts;
   res.total_ops = 0;
   std::vector<double> per_thread(w.window_ops.size());
   for (std::size_t t = 0; t < w.window_ops.size(); ++t) {
@@ -149,6 +203,36 @@ inline void fill_window_result(bench_result& res, const window_totals& w) {
                           : 0.0;
   const summary fair = summarize(per_thread);
   res.fairness_cv = fair.mean > 0.0 ? fair.stddev / fair.mean : 0.0;
+
+  // Consecutive samples become telemetry windows.  Counter cells move
+  // independently, so a window's acquisitions can momentarily run ahead of
+  // its ops; the deltas are still exact over any quiescent boundary.
+  res.windows.clear();
+  for (std::size_t i = 1; i < w.samples.size(); ++i) {
+    const window_sample& a = w.samples[i - 1];
+    const window_sample& b = w.samples[i];
+    bench_window win;
+    win.t0_s = a.t_s;
+    win.t1_s = b.t_s;
+    win.warmup = i <= w.warmup_boundary;
+    win.ops = b.ops - a.ops;
+    win.timeouts = b.timeouts - a.timeouts;
+    const double dt = win.t1_s - win.t0_s;
+    win.throughput_ops_s =
+        dt > 0.0 ? static_cast<double>(win.ops) / dt : 0.0;
+    if (a.has_stats && b.has_stats) {
+      win.has_cohort = true;
+      win.acquisitions = b.stats.acquisitions - a.stats.acquisitions;
+      win.global_acquires =
+          b.stats.global_acquires - a.stats.global_acquires;
+      win.mean_batch =
+          win.global_acquires > 0
+              ? static_cast<double>(win.acquisitions) /
+                    static_cast<double>(win.global_acquires)
+              : static_cast<double>(win.acquisitions);
+    }
+    res.windows.push_back(win);
+  }
 }
 
 }  // namespace detail

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "bench/driver.hpp"
+#include "bench/workload.hpp"
 #include "numa/topology.hpp"
 #include "util/align.hpp"
 #include "util/rng.hpp"
@@ -38,7 +39,7 @@ bench_result run_cs_typed(Lock& lock, const bench_config& cfg) {
   }();
   const std::chrono::microseconds patience(cfg.patience_us);
 
-  const auto totals = detail::run_window(cfg, [&](unsigned tid) {
+  auto make_body = [&](unsigned tid) {
     // Queue-lock contexts are identity-sensitive, so the body keeps its
     // context at a stable heap address instead of inside the closure.
     return [&lock, &shared, &cfg, use_patience, patience,
@@ -64,7 +65,16 @@ bench_result run_cs_typed(Lock& lock, const bench_config& cfg) {
       for (unsigned i = 0; i < cfg.non_cs_work; ++i) rng.next();
       return acquired;
     };
-  });
+  };
+  // Mid-run sampler for windows[]: cohort batch counters are relaxed-atomic
+  // cells, so this is safe to call while the workers run.
+  auto sample_stats = [&]() -> std::optional<reg::erased_stats> {
+    if constexpr (requires(const Lock& l) { l.stats(); })
+      return reg::erased_stats(lock.stats());
+    else
+      return std::nullopt;
+  };
+  const auto totals = detail::run_window(cfg, make_body, sample_stats);
 
   detail::fill_window_result(res, totals);
 
@@ -113,15 +123,32 @@ bench_result run_cs_bench(const bench_config& cfg) {
 bench_result run_bench(const bench_config& cfg) {
   if (cfg.threads == 0)
     throw std::invalid_argument("bench: thread count must be positive");
+  const workload_info* w = find_workload(cfg.workload);
+  if (w == nullptr)
+    throw std::invalid_argument("bench: unknown workload '" + cfg.workload +
+                                "' (registered: " + workload_names_joined() +
+                                ")");
   install_topology(cfg.clusters);
-  if (cfg.workload == "cs") return run_cs_bench(cfg);
-  if (cfg.workload == "kv") return run_kv_bench(cfg);
-  throw std::invalid_argument("bench: unknown workload '" + cfg.workload +
-                              "' (expected cs or kv)");
+  return w->run(cfg);
 }
+
+namespace {
+
+json cohort_to_json(const reg::erased_stats& s) {
+  json cs = json::object();
+  cs.set("acquisitions", s.acquisitions);
+  cs.set("global_acquires", s.global_acquires);
+  cs.set("local_handoffs", s.local_handoffs);
+  cs.set("handoff_failures", s.handoff_failures);
+  cs.set("avg_batch", s.avg_batch());
+  return cs;
+}
+
+}  // namespace
 
 json to_json(const bench_result& r) {
   const bool kv = r.config.workload == "kv";
+  const bool alloc = r.config.workload == "alloc";
   json rec = json::object();
   rec.set("workload", r.config.workload);
   rec.set("lock", r.config.lock_name);
@@ -139,11 +166,19 @@ json to_json(const bench_result& r) {
     rec.set("keyspace", static_cast<std::uint64_t>(r.config.keyspace));
     rec.set("value_bytes", static_cast<std::uint64_t>(r.config.value_bytes));
     rec.set("numa_place", r.config.numa_place);
+  } else if (alloc) {
+    rec.set("alloc_min", static_cast<std::uint64_t>(r.config.alloc_min));
+    rec.set("alloc_max", static_cast<std::uint64_t>(r.config.alloc_max));
+    rec.set("working_set", static_cast<std::uint64_t>(r.config.working_set));
+    rec.set("arena_mb", static_cast<std::uint64_t>(r.config.arena_mb));
+    rec.set("arenas", static_cast<std::uint64_t>(r.arena_reports.size()));
+    rec.set("numa_place", r.config.numa_place);
   } else {
     rec.set("cs_work", r.config.cs_work);
     rec.set("non_cs_work", r.config.non_cs_work);
-    // Bounded patience only exists on the cs path; kv records omit it so a
-    // configured-but-unused value cannot read as "ran with zero timeouts".
+    // Bounded patience only exists on the cs path; kv/alloc records omit it
+    // so a configured-but-unused value cannot read as "ran with zero
+    // timeouts".
     rec.set("patience_us", r.config.patience_us);
   }
   rec.set("pass_limit", r.config.pass_limit);
@@ -178,35 +213,82 @@ json to_json(const bench_result& r) {
       sh.set("get_hits", sr.kv.get_hits);
       sh.set("sets", sr.kv.sets);
       sh.set("evictions", sr.kv.evictions);
-      if (sr.has_cohort) {
-        json cs = json::object();
-        cs.set("acquisitions", sr.cohort.acquisitions);
-        cs.set("global_acquires", sr.cohort.global_acquires);
-        cs.set("local_handoffs", sr.cohort.local_handoffs);
-        cs.set("handoff_failures", sr.cohort.handoff_failures);
-        cs.set("avg_batch", sr.cohort.avg_batch());
-        sh.set("cohort", std::move(cs));
-      }
+      if (sr.has_cohort) sh.set("cohort", cohort_to_json(sr.cohort));
       per_shard.push(std::move(sh));
     }
     rec.set("per_shard", std::move(per_shard));
   }
-  if (r.has_cohort_stats) {
-    json cs = json::object();
-    cs.set("acquisitions", r.cohort.acquisitions);
-    cs.set("global_acquires", r.cohort.global_acquires);
-    cs.set("local_handoffs", r.cohort.local_handoffs);
-    cs.set("handoff_failures", r.cohort.handoff_failures);
-    cs.set("avg_batch", r.cohort.avg_batch());
-    rec.set("cohort", std::move(cs));
+  if (alloc) {
+    json al = json::object();
+    al.set("alloc_calls", static_cast<std::uint64_t>(r.alloc.alloc_calls));
+    al.set("free_calls", static_cast<std::uint64_t>(r.alloc.free_calls));
+    al.set("failed_allocs", static_cast<std::uint64_t>(r.alloc.failures));
+    al.set("splits", static_cast<std::uint64_t>(r.alloc.splits));
+    al.set("coalesces", static_cast<std::uint64_t>(r.alloc.coalesces));
+    // Bytes still handed out after the post-join drain: any non-zero value
+    // is a leak and fails the audit.
+    al.set("leak_bytes", static_cast<std::uint64_t>(r.alloc.allocated_bytes));
+    al.set("tag_mismatches", r.tag_mismatches);
+    rec.set("alloc", std::move(al));
+    json per_arena = json::array();
+    for (std::size_t a = 0; a < r.arena_reports.size(); ++a) {
+      const arena_report& ar = r.arena_reports[a];
+      json aj = json::object();
+      aj.set("arena", static_cast<std::uint64_t>(a));
+      aj.set("home_cluster", ar.home_cluster);
+      aj.set("alloc_calls", static_cast<std::uint64_t>(ar.alloc.alloc_calls));
+      aj.set("free_calls", static_cast<std::uint64_t>(ar.alloc.free_calls));
+      aj.set("failed_allocs", static_cast<std::uint64_t>(ar.alloc.failures));
+      aj.set("splits", static_cast<std::uint64_t>(ar.alloc.splits));
+      aj.set("coalesces", static_cast<std::uint64_t>(ar.alloc.coalesces));
+      aj.set("free_chunks", static_cast<std::uint64_t>(ar.alloc.free_chunks));
+      aj.set("leak_bytes",
+             static_cast<std::uint64_t>(ar.alloc.allocated_bytes));
+      aj.set("heap_ok", ar.heap_ok);
+      if (ar.has_cohort) aj.set("cohort", cohort_to_json(ar.cohort));
+      per_arena.push(std::move(aj));
+    }
+    rec.set("per_arena", std::move(per_arena));
   }
+  if (r.has_cohort_stats) rec.set("cohort", cohort_to_json(r.cohort));
   rec.set("avg_batch", r.has_cohort_stats ? r.cohort.avg_batch() : 0.0);
+  // Batch-length telemetry over time: one entry per snapshot interval, the
+  // warmup windows first, tiling the run up to the measured-window close.
+  json windows = json::array();
+  for (const bench_window& w : r.windows) {
+    json wj = json::object();
+    wj.set("t0_s", w.t0_s);
+    wj.set("t1_s", w.t1_s);
+    wj.set("warmup", w.warmup);
+    wj.set("ops", w.ops);
+    wj.set("throughput_ops_s", w.throughput_ops_s);
+    if (w.timeouts != 0) wj.set("timeouts", w.timeouts);
+    if (w.has_cohort) {
+      json cj = json::object();
+      cj.set("acquisitions", w.acquisitions);
+      cj.set("global_acquires", w.global_acquires);
+      cj.set("mean_batch", w.mean_batch);
+      wj.set("cohort", std::move(cj));
+    }
+    windows.push(std::move(wj));
+  }
+  rec.set("windows", std::move(windows));
   return rec;
 }
 
 std::string to_text(const bench_result& r) {
   char buf[256];
-  if (r.config.workload == "kv") {
+  if (r.config.workload == "alloc") {
+    std::snprintf(
+        buf, sizeof(buf),
+        "alloc %-12s threads=%-3u arenas=%-2zu %12.0f ops/s  cv=%5.1f%%  "
+        "batch=%6.2f%s%s",
+        r.config.lock_name.c_str(), r.config.threads, r.arena_reports.size(),
+        r.throughput_ops_s, 100.0 * r.fairness_cv,
+        r.has_cohort_stats ? r.cohort.avg_batch() : 0.0,
+        r.timeouts > 0 ? "  (failed allocs)" : "",
+        r.mutual_exclusion_ok ? "" : "  [ARENA AUDIT FAILED]");
+  } else if (r.config.workload == "kv") {
     std::snprintf(
         buf, sizeof(buf),
         "kv %-12s threads=%-3u shards=%-3zu %12.0f ops/s  hit=%5.1f%%  "

@@ -3,27 +3,22 @@
 // This is the repository's real-hardware counterpart of the simulated LBench
 // (sim/apps/lbench.*): N OS threads, pinned round-robin across the NUMA
 // clusters of the discovered topology, drive a workload against one lock
-// configuration.  Two workloads share the windowed-measurement skeleton
-// (bench/driver.hpp):
-//
-//   "cs"  -- the paper's microbenchmark: one lock around a critical section
-//            that writes shared cache lines, private work between
-//            acquisitions (Figures 2/4/5/6).
-//   "kv"  -- an application workload: a memaslap-style get/set mix against
-//            the sharded kv engine (kvstore/sharded_store.hpp), with shard
-//            count, get ratio, keyspace and NUMA placement as runtime axes
-//            (the Table 1 experiment grown into a lock x shards matrix).
+// configuration.  Workloads are registered by name in bench/workload.hpp --
+// the paper's three evaluation applications ("cs", "kv", "alloc", DESIGN.md
+// §4) -- and share the windowed-measurement skeleton (bench/driver.hpp).
 //
 // Measured outputs follow the paper's evaluation: throughput, fairness as
 // the per-thread op-count CV (Figure 5), timeouts for abortable locks
 // (Figure 6), and the cohort batch lengths that explain the speedups (§3.7)
-// -- per shard for the kv workload.
+// -- per shard for the kv workload, per arena for the allocator, and as
+// windowed snapshots (windows[]) over time for every workload.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "alloc/arena.hpp"
 #include "bench/json.hpp"
 #include "kvstore/kv_shard.hpp"
 #include "locks/registry.hpp"
@@ -31,7 +26,7 @@
 namespace cohort::bench {
 
 struct bench_config {
-  std::string workload = "cs";  // "cs" or "kv"
+  std::string workload = "cs";  // a bench/workload.hpp registry name
   std::string lock_name = "C-BO-MCS";
   unsigned threads = 4;
   double duration_s = 1.0;   // measured window
@@ -39,6 +34,11 @@ struct bench_config {
   unsigned clusters = 0;     // 0 = discovered topology
   std::uint64_t pass_limit = 64;  // cohort may-pass-local bound
   bool pin = true;           // pin threads to their cluster's CPUs
+  // Telemetry windows over the measured interval: the coordinator samples
+  // the op and cohort-batch counters snap_windows times per measured run
+  // (and at the same cadence during warmup), emitting windows[] in every
+  // record.  0 = boundary samples only (one warmup + one measured window).
+  unsigned snap_windows = 8;
   // > 0: abortable locks acquire with bounded patience and count timeouts;
   // non-abortable locks ignore it.  ("cs" workload only.)
   std::uint64_t patience_us = 0;
@@ -54,7 +54,15 @@ struct bench_config {
   double get_ratio = 0.9;          // fraction of ops that are gets
   std::size_t keyspace = 10'000;   // distinct keys (prefilled before the run)
   std::size_t value_bytes = 64;    // payload size per value
-  bool numa_place = false;         // first-touch shards on their home cluster
+  // Shared by kv and alloc: first-touch each shard (kv) or arena (alloc) on
+  // its home cluster, and give the allocator one arena per cluster.
+  bool numa_place = false;
+
+  // "alloc" workload parameters (mmicro's allocate/write/free loop).
+  std::size_t alloc_min = 64;     // smallest request size, bytes
+  std::size_t alloc_max = 256;    // largest request size, bytes
+  std::size_t working_set = 64;   // live blocks each thread cycles through
+  std::size_t arena_mb = 64;      // capacity per arena, MiB
 };
 
 // Post-run snapshot of one shard ("kv" workload): its kv counters plus its
@@ -65,6 +73,39 @@ struct shard_report {
   kvstore::kv_stats kv{};
   bool has_cohort = false;
   reg::erased_stats cohort{};
+};
+
+// Post-run snapshot of one arena ("alloc" workload): its allocator counters
+// (read after the drain, so allocated_bytes != 0 is a leak) plus its lock's
+// cohort batching counters when the lock keeps them.
+struct arena_report {
+  unsigned home_cluster = 0;
+  cohortalloc::arena_stats alloc{};
+  bool heap_ok = false;        // boundary tags + free-tree invariants held
+  bool has_cohort = false;
+  reg::erased_stats cohort{};
+};
+
+// One telemetry window: the interval between two mid-run counter samples
+// (bench/driver.hpp).  Windows tile the run from the start barrier to the
+// close of the measured interval; `warmup` windows precede the measured
+// one, so warmup-vs-steady-state batching dynamics are visible per record.
+struct bench_window {
+  double t0_s = 0.0;           // window bounds, seconds since the run start
+  double t1_s = 0.0;
+  bool warmup = false;         // entirely inside the warmup phase
+  std::uint64_t ops = 0;       // completed operations inside the window
+  std::uint64_t timeouts = 0;
+  double throughput_ops_s = 0.0;
+  // Cohort batching deltas across all of the workload's locks; absent
+  // (has_cohort == false) for plain locks.
+  bool has_cohort = false;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t global_acquires = 0;
+  // Mean batch length inside this window: acquisitions per global acquire.
+  // When the window saw acquisitions but no migration, the batch outlasted
+  // the window and the count is a lower bound.
+  double mean_batch = 0.0;
 };
 
 struct bench_result {
@@ -87,19 +128,28 @@ struct bench_result {
   // Population stddev of per-thread ops divided by the mean (0 = perfectly
   // fair); Figure 5 reports this as a percentage.
   double fairness_cv = 0.0;
-  std::uint64_t timeouts = 0;   // failed bounded-patience acquisitions
+  std::uint64_t timeouts = 0;   // failed acquisitions/allocs in the window
+  std::uint64_t whole_run_timeouts = 0;  // same, over the whole run
+
+  // Windowed counter snapshots (warmup + measured), every workload.
+  std::vector<bench_window> windows;
 
   // Whole-run (warmup included) cohort statistics; absent for plain locks.
   // For the kv workload this is the sum over all shard locks.
   bool has_cohort_stats = false;
   reg::erased_stats cohort{};
 
-  // Lock-coherence audit.  "cs": every critical section increments each
-  // shared line once, and after the run all lines must equal the whole-run
-  // acquisition count.  "kv": every operation bumps exactly one
-  // unsynchronised kv counter under its shard lock, so at quiescence
-  // gets + sets must equal whole-run ops plus the prefill sets (a broken
-  // lock loses counter updates).
+  // Lock-coherence audit; what it checks is per workload (the registry
+  // descriptor's `audit` string names it).  "cs": every critical section
+  // increments each shared line once, and after the run all lines must
+  // equal the whole-run acquisition count.  "kv": every operation bumps
+  // exactly one unsynchronised kv counter under its shard lock, so at
+  // quiescence gets + sets must equal whole-run ops plus the prefill sets
+  // (a broken lock loses counter updates).  "alloc": after the post-join
+  // drain every arena must be back to one fully coalesced free chunk with
+  // zero bytes outstanding, alloc/free counter identities must hold against
+  // whole-run ops, and no block may ever have been handed to two threads at
+  // once (owner tags).
   bool mutual_exclusion_ok = false;
 
   // "kv" workload outputs (whole run, read at quiescence after join).
@@ -107,6 +157,11 @@ struct bench_result {
   std::size_t kv_final_size = 0;
   double hit_rate = 0.0;
   std::vector<shard_report> shard_reports;
+
+  // "alloc" workload outputs (whole run, read after the post-join drain).
+  cohortalloc::arena_stats alloc{};     // summed over all arenas
+  std::uint64_t tag_mismatches = 0;     // double-handout detections
+  std::vector<arena_report> arena_reports;
 };
 
 // Installs a topology honouring cfg.clusters: the discovered topology
@@ -116,8 +171,9 @@ struct bench_result {
 unsigned install_topology(unsigned clusters);
 
 // Runs one measured repetition of cfg against the named registry lock,
-// dispatching on cfg.workload.  Throws std::invalid_argument for unknown
-// lock names, unknown workloads, or out-of-range parameters.
+// dispatching cfg.workload through the workload registry (workload.hpp).
+// Throws std::invalid_argument for unknown lock names, unknown workloads,
+// or out-of-range parameters; the what() string lists the registered names.
 bench_result run_bench(const bench_config& cfg);
 
 // One machine-readable trajectory record.

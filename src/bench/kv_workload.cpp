@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "bench/driver.hpp"
+#include "bench/workload.hpp"
 #include "kvstore/sharded_store.hpp"
 #include "util/rng.hpp"
 
@@ -50,7 +51,7 @@ void run_kv_typed(kvstore::sharded_store<Lock>& store, const bench_config& cfg,
   prefill(store, keys, value, cfg.numa_place);
   const std::uint64_t prefill_sets = store.stats().sets;
 
-  const auto totals = detail::run_window(cfg, [&](unsigned tid) {
+  auto make_body = [&](unsigned tid) {
     return [&store, &keys, &value, &cfg, h = store.make_handle(),
             rng = xorshift(0x517ead0000ULL + tid)]() mutable {
       const auto& key = keys[rng.next_range(keys.size())];
@@ -60,7 +61,23 @@ void run_kv_typed(kvstore::sharded_store<Lock>& store, const bench_config& cfg,
         store.set(h, key, value);
       return true;
     };
-  });
+  };
+  // Mid-run sampler for windows[]: sums the shard locks' batching counters.
+  // Safe while the workers run -- the counters are relaxed-atomic cells --
+  // unlike the unsynchronised kv counters, which stay quiescent-only.
+  auto sample_stats = [&]() -> std::optional<reg::erased_stats> {
+    reg::erased_stats sum{};
+    bool any = false;
+    for (std::size_t s = 0; s < store.shard_count(); ++s) {
+      if (auto ls = store.lock_stats(s)) {
+        sum += *ls;
+        any = true;
+      }
+    }
+    if (!any) return std::nullopt;
+    return sum;
+  };
+  const auto totals = detail::run_window(cfg, make_body, sample_stats);
 
   detail::fill_window_result(res, totals);
 
@@ -91,10 +108,7 @@ void run_kv_typed(kvstore::sharded_store<Lock>& store, const bench_config& cfg,
     if (auto ls = store.lock_stats(s)) {
       sr.has_cohort = true;
       sr.cohort = *ls;
-      sum.acquisitions += ls->acquisitions;
-      sum.global_acquires += ls->global_acquires;
-      sum.local_handoffs += ls->local_handoffs;
-      sum.handoff_failures += ls->handoff_failures;
+      sum += *ls;
       any_cohort = true;
     }
   }

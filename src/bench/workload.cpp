@@ -1,0 +1,75 @@
+#include "bench/workload.hpp"
+
+namespace cohort::bench {
+
+// The single source of truth for the workload registry: a workload added
+// here shows up everywhere at once (run_bench dispatch, cohort_bench usage
+// and --list-workloads, the matrix script's enumeration, the tests).
+const std::vector<workload_info>& all_workloads() {
+  static const std::vector<workload_info> table = {
+      {"cs",
+       "critical-section microbenchmark (Figures 2/4/5/6)",
+       "every CS increments each shared line once; at quiescence all lines "
+       "equal the whole-run acquisition count",
+       {{"--cs-work N", "shared cache lines written per CS (default 4)"},
+        {"--non-cs-work N", "private work units between CSs (default 64)"},
+        {"--patience-us N",
+         "bounded patience for abortable locks (default 0 = infinite)"}},
+       &run_cs_bench},
+      {"kv",
+       "get/set mix against the sharded kv engine (Table 1)",
+       "each op bumps exactly one kv counter under its shard lock; at "
+       "quiescence gets + sets equal whole-run ops plus prefill sets",
+       {{"--shards N", "independent shards (default 1)"},
+        {"--get-ratio G", "fraction of gets, 0..1 (default 0.9)"},
+        {"--keyspace K", "distinct keys, prefilled (default 10000)"},
+        {"--value-bytes N", "value payload size (default 64)"},
+        {"--buckets N", "hash buckets per shard (default 1024)"},
+        {"--max-items N", "total eviction budget (default 0 = off)"},
+        {"--numa-place", "first-touch shards on their home cluster"}},
+       &run_kv_bench},
+      {"alloc",
+       "mmicro allocate/write/free loop on the splay-tree arena (Table 2)",
+       "after the drain every arena is one coalesced free chunk with zero "
+       "bytes out, alloc/free counts match whole-run ops, and owner tags "
+       "prove no block was handed out twice",
+       {{"--alloc-min N", "smallest request size in bytes (default 64)"},
+        {"--alloc-max N", "largest request size in bytes (default 256)"},
+        {"--working-set N",
+         "live blocks each thread cycles through (default 64)"},
+        {"--arena-mb N", "arena capacity in MiB (default 64)"},
+        {"--numa-place", "one arena per cluster, first-touched on it"}},
+       &run_alloc_bench},
+  };
+  return table;
+}
+
+const std::vector<std::string>& all_workload_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const auto& w : all_workloads()) v.emplace_back(w.name);
+    return v;
+  }();
+  return names;
+}
+
+const workload_info* find_workload(const std::string& name) {
+  for (const auto& w : all_workloads())
+    if (name == w.name) return &w;
+  return nullptr;
+}
+
+bool is_workload_name(const std::string& name) {
+  return find_workload(name) != nullptr;
+}
+
+std::string workload_names_joined() {
+  std::string out;
+  for (const auto& w : all_workloads()) {
+    if (!out.empty()) out += ", ";
+    out += w.name;
+  }
+  return out;
+}
+
+}  // namespace cohort::bench

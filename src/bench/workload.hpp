@@ -1,0 +1,58 @@
+// Name-based dispatch over the real-thread benchmark workloads, mirroring
+// the lock registry (locks/registry.hpp): every workload the harness can
+// drive appears exactly once in the table in workload.cpp, as a descriptor
+// carrying its name, one-line summary, audit description, CLI flag schema,
+// and run() entry point.  run_bench(), the cohort_bench CLI (usage text,
+// --list-workloads, fail-fast name validation) and run_bench_matrix.sh all
+// enumerate this registry instead of hard-coding workload strings.
+//
+// The registered workloads are the paper's three evaluation applications
+// (DESIGN.md §4):
+//
+//   "cs"    -- the critical-section microbenchmark (Figures 2/4/5/6)
+//   "kv"    -- get/set mix against the sharded kv engine (Table 1)
+//   "alloc" -- mmicro's allocate/write/free loop on the splay-tree arena
+//              (Table 2)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+namespace cohort::bench {
+
+// One CLI flag a workload understands, for registry-generated usage text.
+struct workload_flag {
+  const char* flag;  // e.g. "--shards N"
+  const char* help;  // one-line description including the default
+};
+
+struct workload_info {
+  const char* name;     // registry key, e.g. "kv"
+  const char* summary;  // one-liner for --list-workloads
+  // What this workload's mutual_exclusion_ok audit asserts at quiescence.
+  const char* audit;
+  std::vector<workload_flag> flags;
+  bench_result (*run)(const bench_config&);
+};
+
+// The registered workloads, in the order the paper's evaluation introduces
+// them.
+const std::vector<workload_info>& all_workloads();
+const std::vector<std::string>& all_workload_names();
+// nullptr for unknown names.
+const workload_info* find_workload(const std::string& name);
+bool is_workload_name(const std::string& name);
+// "cs, kv, alloc" -- for fail-fast diagnostics.
+std::string workload_names_joined();
+
+// The entry points behind the descriptors, one translation unit each
+// (harness.cpp, kv_workload.cpp, alloc_workload.cpp).  Call run_bench()
+// rather than these directly: it validates the names and installs the
+// topology first.
+bench_result run_cs_bench(const bench_config& cfg);
+bench_result run_kv_bench(const bench_config& cfg);
+bench_result run_alloc_bench(const bench_config& cfg);
+
+}  // namespace cohort::bench

@@ -107,13 +107,11 @@ class abortable_cohort_lock {
     for (auto& s : slots_) f(s->lock);
   }
 
+  // Exact at quiescence, sampleable mid-run (relaxed-atomic cells).
   abortable_stats stats() const {
     abortable_stats total;
     for (const auto& s : slots_) {
-      total.acquisitions += s->stats.acquisitions;
-      total.global_acquires += s->stats.global_acquires;
-      total.local_handoffs += s->stats.local_handoffs;
-      total.handoff_failures += s->stats.handoff_failures;
+      s->stats.add_into(total);
       total.local_timeouts +=
           s->local_timeouts.load(std::memory_order_relaxed);
       total.global_timeouts +=
@@ -126,8 +124,8 @@ class abortable_cohort_lock {
   struct slot {
     L lock{};
     std::uint64_t batch = 0;
-    // Holder-serialised counters (see cohort_stats).
-    cohort_stats stats{};
+    // Holder-serialised counter cells (see cohort_counters).
+    cohort_counters stats{};
     // Timeout counters are bumped by threads that failed to acquire and
     // therefore hold nothing; they need their own synchronisation.
     std::atomic<std::uint64_t> local_timeouts{0};

@@ -28,8 +28,10 @@ struct pass_policy {
 inline constexpr std::uint64_t unbounded_pass =
     ~static_cast<std::uint64_t>(0);
 
-// Counters a cohort lock keeps per cluster; reads are only meaningful when
-// the lock is quiescent (they are updated under the lock, unsynchronised).
+// Snapshot of a cohort lock's batching counters.  Exact at quiescence; a
+// mid-run sample (the benchmark's windowed telemetry) sees each counter at
+// some recent instant -- counters move independently, so cross-counter
+// identities only hold exactly on a quiescent lock.
 struct cohort_stats {
   std::uint64_t acquisitions = 0;    // total lock() calls completed
   std::uint64_t global_acquires = 0; // acquisitions that took the global lock
@@ -43,6 +45,66 @@ struct cohort_stats {
                ? 0.0
                : static_cast<double>(acquisitions) /
                      static_cast<double>(global_acquires);
+  }
+
+  // Aggregation across shard/arena locks (the harness samplers).
+  cohort_stats& operator+=(const cohort_stats& o) {
+    acquisitions += o.acquisitions;
+    global_acquires += o.global_acquires;
+    local_handoffs += o.local_handoffs;
+    handoff_failures += o.handoff_failures;
+    return *this;
+  }
+};
+
+// Single-writer counter cell: only the current lock holder increments it
+// (the lock orders the writers), while benchmark coordinators may sample it
+// concurrently.  store(load + 1) keeps read-modify-write instructions off
+// the release path; relaxed ordering is enough because samplers tolerate
+// slightly stale values.
+class stat_cell {
+ public:
+  void operator++() {
+    v_.store(v_.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+  }
+  void operator--() {
+    v_.store(v_.load(std::memory_order_relaxed) - 1,
+             std::memory_order_relaxed);
+  }
+  std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// The live per-cluster counters behind cohort_stats.
+struct cohort_counters {
+  stat_cell acquisitions;
+  stat_cell global_acquires;
+  stat_cell local_handoffs;
+  stat_cell handoff_failures;
+
+  cohort_stats snapshot() const {
+    cohort_stats s;
+    s.acquisitions = acquisitions.get();
+    s.global_acquires = global_acquires.get();
+    s.local_handoffs = local_handoffs.get();
+    s.handoff_failures = handoff_failures.get();
+    return s;
+  }
+  void add_into(cohort_stats& total) const {
+    total.acquisitions += acquisitions.get();
+    total.global_acquires += global_acquires.get();
+    total.local_handoffs += local_handoffs.get();
+    total.handoff_failures += handoff_failures.get();
+  }
+  void reset() {
+    acquisitions.reset();
+    global_acquires.reset();
+    local_handoffs.reset();
+    handoff_failures.reset();
   }
 };
 
@@ -118,24 +180,20 @@ class cohort_lock {
   unsigned clusters() const noexcept { return clusters_; }
   const pass_policy& policy() const noexcept { return policy_; }
 
-  // Aggregated statistics (quiescent reads only).
+  // Aggregated statistics: exact at quiescence, sampleable mid-run (the
+  // counters are relaxed-atomic cells, so concurrent reads are race-free).
   cohort_stats stats() const {
     cohort_stats total;
-    for (const auto& s : slots_) {
-      total.acquisitions += s->stats.acquisitions;
-      total.global_acquires += s->stats.global_acquires;
-      total.local_handoffs += s->stats.local_handoffs;
-      total.handoff_failures += s->stats.handoff_failures;
-    }
+    for (const auto& s : slots_) s->stats.add_into(total);
     return total;
   }
 
   cohort_stats cluster_stats(unsigned c) const {
-    return slots_.at(c)->stats;
+    return slots_.at(c)->stats.snapshot();
   }
 
   void reset_stats() {
-    for (auto& s : slots_) s->stats = cohort_stats{};
+    for (auto& s : slots_) s->stats.reset();
   }
 
  private:
@@ -145,7 +203,7 @@ class cohort_lock {
     // current cohort-lock owner of this cluster, so a plain field is safe
     // (the local lock's release/acquire edges order the accesses).
     std::uint64_t batch = 0;
-    cohort_stats stats{};
+    cohort_counters stats{};
   };
 
   pass_policy policy_;

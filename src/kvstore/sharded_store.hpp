@@ -154,8 +154,9 @@ class sharded_store {
 
   const kv_shard& shard(std::size_t s) const { return shards_[s]->core; }
 
-  // Per-shard cohort batching counters; nullopt for plain locks.  Quiescent
-  // reads only, like everything above.
+  // Per-shard cohort batching counters; nullopt for plain locks.  Unlike
+  // the kv counters above, these are relaxed-atomic cells (cohort_counters)
+  // and may be sampled mid-run -- the benchmark's windows[] telemetry does.
   std::optional<cohort::cohort_stats> lock_stats(std::size_t s) const {
     const Lock& l = *shards_[s]->lock;
     if constexpr (requires { l.stats(); }) {
