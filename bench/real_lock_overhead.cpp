@@ -59,9 +59,11 @@ int main(int argc, char** argv) {
   for (const auto& name : cohort::reg::all_lock_names())
     register_lock_bench("uncontended", name, 1);
   // A couple of contended points on the locks that matter most for the
-  // paper's argument.
+  // paper's argument -- the -fp pairs show what fission costs once a second
+  // thread arrives.
   for (const auto* name :
-       {"pthread", "MCS", "C-BO-MCS", "C-TKT-TKT", "C-MCS-MCS"})
+       {"pthread", "MCS", "C-BO-MCS", "C-BO-MCS-fp", "C-TKT-TKT",
+        "C-TKT-TKT-fp", "C-MCS-MCS", "C-MCS-MCS-fp"})
     register_lock_bench("contended", name, 2);
 
   benchmark::Initialize(&argc, argv);

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Single-thread latency smoke for the fast-path cohort locks, run by CI on
+# every push (and by hand before regenerating BENCH_real.json).
+#
+# Two guarantees:
+#   1. Registry completeness (hard, environment-independent): every cohort
+#      composition in the registry must have its "-fp" fast-path variant
+#      registered -- a composition added without one fails here, not in a
+#      downstream experiment.
+#   2. Latency: each "-fp" lock's uncontended acquire/release must sit
+#      within FP_TATAS_FACTOR x the TATAS time (default 1.5, the hardware
+#      floor a single CAS can realistically hit).  Because every plain
+#      composition costs at least FP_BASELINE_SPEEDUP x that bound on real
+#      hardware, holding the TATAS bound is what forces the >=2x win over
+#      the baseline wherever the baseline leaves room for one; demanding
+#      2x against a baseline already near TATAS would mean beating bare
+#      TATAS itself.  A latency *inversion* -- an -fp lock slower than its
+#      own baseline -- fails regardless of the TATAS bound.
+#
+# Environment knobs:
+#   BUILD_DIR            cmake build dir with real_lock_overhead (default: build)
+#   FP_TATAS_FACTOR      allowed slowdown vs TATAS          (default: 1.5)
+#   FP_INVERSION_SLACK   noise headroom for the fp-vs-baseline inversion
+#                        check (default: 1.10)
+#   FP_MIN_TIME          google-benchmark min time per case  (default: 0.15)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+FP_TATAS_FACTOR=${FP_TATAS_FACTOR:-1.5}
+FP_INVERSION_SLACK=${FP_INVERSION_SLACK:-1.10}
+FP_MIN_TIME=${FP_MIN_TIME:-0.15}
+
+BENCH="$BUILD_DIR/real_lock_overhead"
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not built (needs google-benchmark; cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+# One pass over every registered lock at threads=1; real_lock_overhead
+# enumerates the registry itself, so the JSON below contains every name.
+"$BENCH" --benchmark_filter='^uncontended/' \
+  --benchmark_min_time="$FP_MIN_TIME" \
+  --benchmark_format=json > "$out" 2>/dev/null
+
+FP_TATAS_FACTOR="$FP_TATAS_FACTOR" FP_INVERSION_SLACK="$FP_INVERSION_SLACK" \
+python3 - "$out" <<'EOF'
+import json, os, re, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+times = {}
+for b in data.get("benchmarks", []):
+    m = re.fullmatch(r"uncontended/(.+)/threads:1", b["name"])
+    if m:
+        times[m.group(1)] = float(b["cpu_time"])
+
+if "TATAS" not in times:
+    sys.exit("error: TATAS missing from the uncontended benchmark set")
+tatas = times["TATAS"]
+
+cohorts = [n for n in times
+           if re.fullmatch(r"A?-?C-.*", n) and not n.endswith("-fp")]
+missing = [n for n in cohorts if n + "-fp" not in times]
+if missing:
+    sys.exit("error: cohort composition(s) missing a fast-path build: "
+             + ", ".join(sorted(missing)))
+
+factor = float(os.environ["FP_TATAS_FACTOR"])
+slack = float(os.environ["FP_INVERSION_SLACK"])
+failures = []
+print(f"{'lock':<16} {'base ns':>8} {'fp ns':>8} {'vs TATAS':>9} {'speedup':>8}")
+for base in sorted(cohorts):
+    b, fp = times[base], times[base + "-fp"]
+    # Hard bound: the fast path must track the TATAS hardware floor.  A
+    # latency inversion (fp slower than its own baseline, beyond noise
+    # slack) fails even if the baseline happens to sit inside the bound.
+    ok = fp <= tatas * factor and fp <= b * slack
+    verdict = "ok" if ok else "FAIL"
+    print(f"{base:<16} {b:8.1f} {fp:8.1f} {fp / tatas:8.2f}x {b / fp:7.2f}x  {verdict}")
+    if not ok:
+        failures.append(base)
+print(f"TATAS reference: {tatas:.1f} ns; bound = TATAS*{factor}, no inversion past {slack}x")
+if failures:
+    sys.exit("error: fast path too slow for: " + ", ".join(failures))
+print("fast-path latency smoke: ok")
+EOF

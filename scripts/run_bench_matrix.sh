@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Dump the full real-thread benchmark matrix to a BENCH_real.json trajectory
-# file: every registry lock on the "cs" microbenchmark, a lock x shard-count
-# sweep of the "kv" application workload recorded as placed/unplaced pairs
-# (the NUMA-placement ablation: identical configs differing only in
-# numa_place, so a real NUMA box can diff first-touch placement against
-# lock-carried NUMA awareness directly), and every registry lock on the
-# "alloc" (mmicro) workload, merged into one JSON array.  Every record
-# carries windows[] batch-length telemetry.
+# file: every registry lock on the "cs" microbenchmark, a contention sweep
+# (threads = 1, 2, one-per-cluster, saturation) of the fast-path locks
+# against their baselines and TATAS -- so the low-contention fast-path win
+# and the saturation non-regression land side by side -- a lock x
+# shard-count sweep of the "kv" application workload recorded as
+# placed/unplaced pairs (the NUMA-placement ablation: identical configs
+# differing only in numa_place, so a real NUMA box can diff first-touch
+# placement against lock-carried NUMA awareness directly), and every
+# registry lock on the "alloc" (mmicro) workload, merged into one JSON
+# array.  Every record carries windows[] batch-length telemetry.
 #
 #   scripts/run_bench_matrix.sh [--dry-run] [out.json]
 #
@@ -20,8 +23,13 @@
 #   THREADS    worker threads per run                       (default: nproc)
 #   DURATION   measured seconds per (lock, rep)             (default: 1)
 #   REPS       repetitions per lock                         (default: 3)
-#   KV_LOCKS   locks for the kv sweep    (default: pthread C-TKT-TKT C-BO-MCS)
+#   KV_LOCKS   locks for the kv sweep
+#                        (default: pthread C-TKT-TKT C-TKT-TKT-fp C-BO-MCS)
 #   KV_SHARDS  shard counts for the kv sweep               (default: 1 4 16)
+#   SWEEP_LOCKS    locks for the contention sweep
+#                        (default: TATAS plus each -fp lock and its baseline)
+#   SWEEP_THREADS  thread counts for the contention sweep
+#                        (default: "1 2 <clusters> <THREADS>", deduplicated)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,8 +49,20 @@ BUILD_DIR=${BUILD_DIR:-build}
 THREADS=${THREADS:-$(nproc)}
 DURATION=${DURATION:-1}
 REPS=${REPS:-3}
-KV_LOCKS=${KV_LOCKS:-pthread C-TKT-TKT C-BO-MCS}
+KV_LOCKS=${KV_LOCKS:-pthread C-TKT-TKT C-TKT-TKT-fp C-BO-MCS}
 KV_SHARDS=${KV_SHARDS:-1 4 16}
+
+# Contention sweep axis: each fast-path lock, its non-fp baseline, and the
+# TATAS reference, at 1 thread (uncontended latency), 2 (first contention),
+# one per cluster (pure cross-cluster traffic), and saturation ($THREADS).
+SWEEP_LOCKS=${SWEEP_LOCKS:-TATAS C-TKT-TKT C-TKT-TKT-fp C-BO-MCS C-BO-MCS-fp C-MCS-MCS C-MCS-MCS-fp}
+host_clusters=0
+for node in /sys/devices/system/node/node[0-9]*; do
+  [ -e "$node" ] && host_clusters=$((host_clusters + 1))
+done
+[ "$host_clusters" -ge 1 ] || host_clusters=1
+SWEEP_THREADS=${SWEEP_THREADS:-1 2 $host_clusters $THREADS}
+SWEEP_THREADS=$(printf '%s\n' $SWEEP_THREADS | awk '!seen[$0]++' | tr '\n' ' ')
 
 BENCH="$BUILD_DIR/cohort_bench"
 if [ ! -x "$BENCH" ]; then
@@ -66,6 +86,12 @@ for lock in $KV_LOCKS; do
     exit 1
   fi
 done
+for lock in $SWEEP_LOCKS; do
+  if ! printf '%s\n' "${ALL_LOCKS[@]}" | grep -qx "$lock"; then
+    echo "error: SWEEP_LOCKS entry '$lock' is not a registry lock (see $BENCH --list)" >&2
+    exit 1
+  fi
+done
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
@@ -83,6 +109,16 @@ run() {  # run <output-file> <cohort_bench args...>
 # Lock-overhead matrix: every registry lock on the cs microbenchmark.
 run "$tmpdir/cs.json" --all --threads "$THREADS" --duration "$DURATION" \
   --reps "$REPS" --json
+
+# Contention sweep: the fast-path ablation across thread counts.  The
+# single-thread records expose the fast-path latency win; the saturation
+# records prove cohort batching survives the extra gate CAS.
+sweep_lock_args=()
+for lock in $SWEEP_LOCKS; do sweep_lock_args+=(--lock "$lock"); done
+for t in $SWEEP_THREADS; do
+  run "$tmpdir/sweep-$t.json" "${sweep_lock_args[@]}" --threads "$t" \
+    --duration "$DURATION" --reps "$REPS" --json
+done
 
 # Application matrix: kv workload, lock x shard-count sweep, recorded as a
 # placed/unplaced ablation pair per configuration (numa_place: false/true).

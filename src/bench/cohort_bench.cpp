@@ -135,6 +135,8 @@ int main(int argc, char** argv) {
       cfg.shards = static_cast<std::size_t>(n);
     } else if (arg == "--get-ratio" && parse_double(next(), d) && d <= 1.0) {
       cfg.get_ratio = d;
+    } else if (arg == "--zipf" && parse_double(next(), d)) {
+      cfg.zipf_theta = d;
     } else if (arg == "--keyspace" && parse_unsigned(next(), n) && n > 0) {
       cfg.keyspace = static_cast<std::size_t>(n);
     } else if (arg == "--value-bytes" && parse_unsigned(next(), n)) {

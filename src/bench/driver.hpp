@@ -225,11 +225,15 @@ inline void fill_window_result(bench_result& res, const window_totals& w) {
       win.acquisitions = b.stats.acquisitions - a.stats.acquisitions;
       win.global_acquires =
           b.stats.global_acquires - a.stats.global_acquires;
-      win.mean_batch =
-          win.global_acquires > 0
-              ? static_cast<double>(win.acquisitions) /
-                    static_cast<double>(win.global_acquires)
-              : static_cast<double>(win.acquisitions);
+      win.fast_acquires = b.stats.fast_acquires - a.stats.fast_acquires;
+      win.fissions = b.stats.fissions - a.stats.fissions;
+      // Batch length counts only the slow (cohort) acquisitions a global
+      // acquire amortises; fast acquires bypass the global lock entirely.
+      const std::uint64_t slow = win.acquisitions - win.fast_acquires;
+      win.mean_batch = win.global_acquires > 0
+                           ? static_cast<double>(slow) /
+                                 static_cast<double>(win.global_acquires)
+                           : static_cast<double>(slow);
     }
     res.windows.push_back(win);
   }

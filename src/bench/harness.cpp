@@ -22,6 +22,13 @@ struct cs_data {
   std::vector<padded<std::uint64_t>> lines;
 };
 
+// Compiler sink for the private think-time loop.  The RNG state is dead
+// after the body returns, so without an observable use gcc deletes the
+// whole non_cs_work loop -- but only for the lock types it can fully
+// inline, silently zeroing the think time for some locks and not others
+// and invalidating every cross-lock comparison at a given non_cs_work.
+inline void consume(std::uint64_t v) { asm volatile("" : : "r"(v)); }
+
 template <typename Lock>
 bench_result run_cs_typed(Lock& lock, const bench_config& cfg) {
   bench_result res;
@@ -61,8 +68,11 @@ bench_result run_cs_typed(Lock& lock, const bench_config& cfg) {
         for (auto& line : shared.lines) ++line.get();
         lock.unlock(*ctx);
       }
-      // Private think time between critical sections.
-      for (unsigned i = 0; i < cfg.non_cs_work; ++i) rng.next();
+      // Private think time between critical sections; folded into a sink
+      // the compiler must materialise so every step actually runs.
+      std::uint64_t sink = 0;
+      for (unsigned i = 0; i < cfg.non_cs_work; ++i) sink ^= rng.next();
+      consume(sink);
       return acquired;
     };
   };
@@ -140,6 +150,8 @@ json cohort_to_json(const reg::erased_stats& s) {
   cs.set("global_acquires", s.global_acquires);
   cs.set("local_handoffs", s.local_handoffs);
   cs.set("handoff_failures", s.handoff_failures);
+  cs.set("fast_acquires", s.fast_acquires);
+  cs.set("fissions", s.fissions);
   cs.set("avg_batch", s.avg_batch());
   return cs;
 }
@@ -165,6 +177,7 @@ json to_json(const bench_result& r) {
     rec.set("get_ratio", r.config.get_ratio);
     rec.set("keyspace", static_cast<std::uint64_t>(r.config.keyspace));
     rec.set("value_bytes", static_cast<std::uint64_t>(r.config.value_bytes));
+    rec.set("zipf_theta", r.config.zipf_theta);
     rec.set("numa_place", r.config.numa_place);
   } else if (alloc) {
     rec.set("alloc_min", static_cast<std::uint64_t>(r.config.alloc_min));
@@ -267,6 +280,8 @@ json to_json(const bench_result& r) {
       json cj = json::object();
       cj.set("acquisitions", w.acquisitions);
       cj.set("global_acquires", w.global_acquires);
+      cj.set("fast_acquires", w.fast_acquires);
+      cj.set("fissions", w.fissions);
       cj.set("mean_batch", w.mean_batch);
       wj.set("cohort", std::move(cj));
     }

@@ -54,6 +54,10 @@ struct bench_config {
   double get_ratio = 0.9;          // fraction of ops that are gets
   std::size_t keyspace = 10'000;   // distinct keys (prefilled before the run)
   std::size_t value_bytes = 64;    // payload size per value
+  // Key-skew exponent: keys are drawn Zipf(theta) over the keyspace (hot
+  // keys first).  0 = uniform.  Hot keys concentrate contention on one
+  // shard, which is exactly what stresses fast-path disengagement.
+  double zipf_theta = 0.0;
   // Shared by kv and alloc: first-touch each shard (kv) or arena (alloc) on
   // its home cluster, and give the allocator one arena per cluster.
   bool numa_place = false;
@@ -102,7 +106,14 @@ struct bench_window {
   bool has_cohort = false;
   std::uint64_t acquisitions = 0;
   std::uint64_t global_acquires = 0;
-  // Mean batch length inside this window: acquisitions per global acquire.
+  // Fast-path deltas (always 0 for non-fp cohort locks): acquisitions that
+  // took only the top-level CAS, and fast attempts that fissioned into the
+  // cohort slow path.  Together with global_acquires these show the
+  // engage/disengage dynamics over time.
+  std::uint64_t fast_acquires = 0;
+  std::uint64_t fissions = 0;
+  // Mean batch length inside this window: slow acquisitions per global
+  // acquire (fast acquires never touch the global lock and are excluded).
   // When the window saw acquisitions but no migration, the batch outlasted
   // the window and the count is a lower bound.
   double mean_batch = 0.0;

@@ -10,6 +10,7 @@
 #include "bench/workload.hpp"
 #include "kvstore/sharded_store.hpp"
 #include "util/rng.hpp"
+#include "util/zipf.hpp"
 
 namespace cohort::bench {
 
@@ -51,10 +52,16 @@ void run_kv_typed(kvstore::sharded_store<Lock>& store, const bench_config& cfg,
   prefill(store, keys, value, cfg.numa_place);
   const std::uint64_t prefill_sets = store.stats().sets;
 
+  // Key skew: Zipf(theta) over the keyspace, hottest key first; theta 0 is
+  // uniform.  One shared read-only CDF table; each worker draws through its
+  // own RNG.  Skew concentrates traffic on the hot keys' shard, which is
+  // the realistic stress for fast-path disengagement on that shard's lock.
+  const zipf_sampler pick_key(keys.size(), cfg.zipf_theta);
+
   auto make_body = [&](unsigned tid) {
-    return [&store, &keys, &value, &cfg, h = store.make_handle(),
+    return [&store, &keys, &value, &cfg, &pick_key, h = store.make_handle(),
             rng = xorshift(0x517ead0000ULL + tid)]() mutable {
-      const auto& key = keys[rng.next_range(keys.size())];
+      const auto& key = keys[pick_key(rng)];
       if (rng.next_double() < cfg.get_ratio)
         (void)store.get(h, key);
       else
@@ -123,6 +130,8 @@ bench_result run_kv_bench(const bench_config& cfg) {
     throw std::invalid_argument("bench: get ratio must be in [0, 1]");
   if (cfg.shards == 0)
     throw std::invalid_argument("bench: shard count must be positive");
+  if (cfg.zipf_theta < 0.0)
+    throw std::invalid_argument("bench: zipf theta must be >= 0");
 
   bench_result res;
   res.config = cfg;

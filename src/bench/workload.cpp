@@ -22,6 +22,8 @@ const std::vector<workload_info>& all_workloads() {
        "quiescence gets + sets equal whole-run ops plus prefill sets",
        {{"--shards N", "independent shards (default 1)"},
         {"--get-ratio G", "fraction of gets, 0..1 (default 0.9)"},
+        {"--zipf T", "key-skew Zipf exponent, hot keys first (default 0 = "
+                     "uniform; 0.99 = YCSB-style skew)"},
         {"--keyspace K", "distinct keys, prefilled (default 10000)"},
         {"--value-bytes N", "value payload size (default 64)"},
         {"--buckets N", "hash buckets per shard (default 1024)"},

@@ -79,14 +79,17 @@ class abortable_cohort_lock {
 
   void lock(context& ctx) { (void)try_lock(ctx, deadline_never()); }
 
-  void unlock(context& ctx) {
+  // Reports the release kind exactly like cohort_lock::unlock: local for a
+  // successful handoff, global otherwise (including failed handoffs, which
+  // end in a global release per §3.6).
+  release_kind unlock(context& ctx) {
     slot& s = slots_[ctx.cluster].get();
     if (s.batch < policy_.limit && !s.lock.alone(ctx.local)) {
       ++s.batch;
       // Optimistic: a successful release_local transfers the lock with the
       // CAS itself, so the counter must move while we still hold it.
       ++s.stats.local_handoffs;
-      if (s.lock.release_local(ctx.local)) return;
+      if (s.lock.release_local(ctx.local)) return release_kind::local;
       // No viable successor could be guaranteed: the local lock is already
       // released in GLOBAL-RELEASE state, so just release G.  The counter
       // patch is ordered before the next holder by the global lock we still
@@ -94,10 +97,11 @@ class abortable_cohort_lock {
       --s.stats.local_handoffs;
       ++s.stats.handoff_failures;
       global_.unlock();
-      return;
+      return release_kind::global;
     }
     global_.unlock();
     s.lock.release_global(ctx.local);
+    return release_kind::global;
   }
 
   unsigned clusters() const noexcept { return clusters_; }
@@ -122,13 +126,18 @@ class abortable_cohort_lock {
 
  private:
   struct slot {
+    // Leading lines belong to the local lock alone (waiters spin on it).
     L lock{};
-    std::uint64_t batch = 0;
-    // Holder-serialised counter cells (see cohort_counters).
+    // Owner-only batch counter, kept off the lock's lines (see cohort_lock).
+    alignas(destructive_interference_size) std::uint64_t batch = 0;
+    // Holder-serialised counter cells (see cohort_counters); the struct is
+    // interference-aligned, so it also closes out the batch line above.
     cohort_counters stats{};
     // Timeout counters are bumped by threads that failed to acquire and
-    // therefore hold nothing; they need their own synchronisation.
-    std::atomic<std::uint64_t> local_timeouts{0};
+    // therefore hold nothing; they need their own synchronisation -- and
+    // their own line, so losers' bumps don't invalidate the holder's cells.
+    alignas(destructive_interference_size)
+        std::atomic<std::uint64_t> local_timeouts{0};
     std::atomic<std::uint64_t> global_timeouts{0};
   };
 

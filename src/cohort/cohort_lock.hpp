@@ -37,13 +37,21 @@ struct cohort_stats {
   std::uint64_t global_acquires = 0; // acquisitions that took the global lock
   std::uint64_t local_handoffs = 0;  // successful release_local() handoffs
   std::uint64_t handoff_failures = 0;// release_local() returned false (§3.6)
+  // Fast-path accounting (fastpath.hpp); always 0 for the plain cohort
+  // compositions.  At quiescence the acquisition identity is
+  //   acquisitions ==
+  //       fast_acquires + global_acquires + local_handoffs + handoff_failures.
+  std::uint64_t fast_acquires = 0;   // took the top-level CAS, no inner lock
+  std::uint64_t fissions = 0;        // attempted fast, fell into the cohort
 
   // Lock migrations in the paper's sense: the global lock moved between
   // clusters.  global_acquires counts them (plus the very first acquire).
+  // Fast acquires never touch the global lock, so they are excluded -- the
+  // batch length keeps measuring how much work one global acquire amortises.
   double avg_batch() const {
     return global_acquires == 0
                ? 0.0
-               : static_cast<double>(acquisitions) /
+               : static_cast<double>(acquisitions - fast_acquires) /
                      static_cast<double>(global_acquires);
   }
 
@@ -53,6 +61,8 @@ struct cohort_stats {
     global_acquires += o.global_acquires;
     local_handoffs += o.local_handoffs;
     handoff_failures += o.handoff_failures;
+    fast_acquires += o.fast_acquires;
+    fissions += o.fissions;
     return *this;
   }
 };
@@ -79,8 +89,13 @@ class stat_cell {
   std::atomic<std::uint64_t> v_{0};
 };
 
-// The live per-cluster counters behind cohort_stats.
-struct cohort_counters {
+// The live per-cluster counters behind cohort_stats.  Aligned to the
+// destructive-interference size so a cluster's stat cells never share a
+// line with the hot lock state (or another cluster's cells) they sit next
+// to inside a slot: the benchmark coordinator reads these concurrently with
+// the workers, and a shared line would turn every sample into cross-cluster
+// invalidation traffic on the lock words.
+struct alignas(destructive_interference_size) cohort_counters {
   stat_cell acquisitions;
   stat_cell global_acquires;
   stat_cell local_handoffs;
@@ -152,7 +167,12 @@ class cohort_lock {
     ++s.stats.acquisitions;
   }
 
-  void unlock(context& ctx) {
+  // Returns how the release went: release_kind::local when the lock was
+  // handed to a waiting cluster-mate (the batch continues), release_kind::
+  // global when the global lock was released (the cohort drained or the
+  // pass bound was reached).  The fast-path layer keys its re-engagement
+  // hysteresis off consecutive global releases.
+  release_kind unlock(context& ctx) {
     slot& s = slots_[ctx.cluster].get();
     if (s.batch < policy_.limit && !s.lock.alone(ctx.local)) {
       ++s.batch;
@@ -160,7 +180,7 @@ class cohort_lock {
       // release_local transfers the lock, and any update after that instant
       // would race with the inheritor's own accounting.
       ++s.stats.local_handoffs;
-      if (s.lock.release_local(ctx.local)) return;
+      if (s.lock.release_local(ctx.local)) return release_kind::local;
       // Abortable local locks may fail the handoff (no viable successor);
       // the local lock is then already released in GLOBAL-RELEASE state and
       // we only release the global lock (§3.6).  We still hold the global
@@ -169,12 +189,13 @@ class cohort_lock {
       --s.stats.local_handoffs;
       ++s.stats.handoff_failures;
       global_.unlock();
-      return;
+      return release_kind::global;
     }
     // Cohort empty or batch bound reached: release globally.  Order per the
     // paper: global first, then the local lock in GLOBAL-RELEASE state.
     global_.unlock();
     s.lock.release_global(ctx.local);
+    return release_kind::global;
   }
 
   unsigned clusters() const noexcept { return clusters_; }
@@ -198,11 +219,16 @@ class cohort_lock {
 
  private:
   struct slot {
+    // The local lock gets the slot's leading lines to itself: waiters of
+    // this cluster spin on it, and nothing below may share those lines.
     L lock{};
     // batch counts consecutive local handoffs; only ever accessed by the
     // current cohort-lock owner of this cluster, so a plain field is safe
-    // (the local lock's release/acquire edges order the accesses).
-    std::uint64_t batch = 0;
+    // (the local lock's release/acquire edges order the accesses).  Aligned
+    // off the lock's tail line so owner writes never invalidate spinners.
+    alignas(destructive_interference_size) std::uint64_t batch = 0;
+    // Sampled concurrently by the benchmark coordinator; cohort_counters is
+    // itself interference-aligned, which also pads batch out to a full line.
     cohort_counters stats{};
   };
 

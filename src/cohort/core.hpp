@@ -23,7 +23,13 @@
 
 namespace cohort {
 
-// How a local lock was released, as observed by the next acquirer.
+// How a local lock was released, as observed by the next acquirer.  The
+// composed locks (cohort_lock, abortable_cohort_lock) also *return* this
+// from unlock(): `local` means the release handed G to a cluster-mate,
+// `global` means the global lock was released (the cohort drained or the
+// pass bound hit).  The fast-path layer (fastpath.hpp) uses that signal as
+// its re-engagement hysteresis input -- consecutive global releases mean
+// traffic has drained enough for the single-CAS fast path to pay again.
 enum class release_kind : std::uint8_t {
   global,  // previous holder released the global lock: acquire G yourself
   local,   // previous holder kept G: you inherit ownership of G
@@ -91,6 +97,17 @@ concept abortable_cohort_local_lock =
         l.try_lock(c, d)
       } -> std::same_as<std::optional<release_kind>>;
     };
+
+// A fully composed cohort lock, as the fast-path layer (fastpath.hpp)
+// consumes it: context-based lock/unlock where unlock reports whether the
+// release was a local handoff or a global release.  Both cohort_lock and
+// abortable_cohort_lock model this.
+template <typename C>
+concept composed_cohort_lock = requires(C c, typename C::context ctx) {
+  { c.lock(ctx) } -> std::same_as<void>;
+  { c.unlock(ctx) } -> std::same_as<release_kind>;
+  { c.clusters() } -> std::same_as<unsigned>;
+};
 
 // ---- empty context --------------------------------------------------------
 

@@ -1,0 +1,278 @@
+// Fissile-style fast path over the cohort transformation.
+//
+// The cohort lock wins at saturation but charges every acquisition two lock
+// operations (local + global) even when a single thread owns the lock --
+// exactly the low-contention tax bench/fig4_low_contention.cpp and
+// bench/real_lock_overhead.cpp exist to expose.  Fissile Locks (Dice &
+// Kogan, 2020) close that gap by composing a test-and-set fast path with a
+// queue-lock slow path; Compact NUMA-Aware Locks (Dice & Kogan, 2019) make
+// the same argument that NUMA-awareness must not tax the uncontended case.
+//
+// fissile_lock<Inner> wraps a composed cohort lock with a top-level gate
+// word that is the *sole* mutual-exclusion authority:
+//
+//   * fast path   -- one CAS on the gate word.  On success the acquirer is
+//                    in the critical section having touched neither the
+//                    local queue nor the global lock.
+//   * slow path   -- acquire the inner cohort lock exactly as before (local
+//                    lock, global lock, batching, handoffs), then take the
+//                    gate word.  Because the inner lock admits one holder at
+//                    a time, the gate sees at most one slow contender, plus
+//                    whatever fast-path traffic is in flight.
+//
+// The adaptive hysteresis (the "fissile" part):
+//
+//   engaged ──(fission_limit consecutive failed CASes)──▶ fissioned
+//   fissioned ──(reengage_drains consecutive global releases)──▶ engaged
+//
+// While engaged, an acquirer attempts one CAS; on failure it "fissions"
+// into the cohort slow path and bumps a consecutive-failure counter.  Once
+// the counter hits fastpath_policy::fission_limit the fast path disengages:
+// new arrivals skip the CAS entirely and flow into the cohort path, so
+// saturation batching (the whole point of the paper) is preserved and the
+// gate degenerates to one uncontended CAS per critical section.  A slow
+// holder that cannot take the gate (a stream of fast thieves is barging)
+// disengages it for the same reason -- after that, only in-flight fast
+// attempts can hold the gate, so the slow holder acquires in bounded time
+// and fast traffic cannot starve the cohort.  The path re-engages when
+// traffic drains: inner unlocks report release_kind (core.hpp), and
+// reengage_drains consecutive *global* releases -- no waiting cluster-mate
+// anywhere in the batch window -- mean the lock is back in its low-traffic
+// regime where the single CAS pays.
+//
+// Cache-line layout (util/align.hpp): the gate word + engagement flag, the
+// multi-writer hysteresis/fission counters, and the holder-serialised
+// fast-acquire stat cell live on three distinct interference-sized lines,
+// so fissioning threads and sampling coordinators never invalidate the line
+// the fast path CASes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "cohort/cohort_lock.hpp"
+#include "cohort/core.hpp"
+#include "util/align.hpp"
+#include "util/spin.hpp"
+
+namespace cohort {
+
+// Hysteresis knobs for the fast path's engage/disengage state machine.
+struct fastpath_policy {
+  // Consecutive failed gate CASes (fast attempts, or a slow holder's gate
+  // spin) before the fast path disengages.
+  std::uint32_t fission_limit = 8;
+  // Consecutive global (cohort-drained) releases before it re-engages.
+  std::uint32_t reengage_drains = 4;
+};
+
+// Fast-path observability, alongside the inner lock's cohort_stats.
+struct fastpath_stats {
+  std::uint64_t fast_acquires = 0;  // acquisitions served by the gate CAS
+  std::uint64_t fissions = 0;       // fast attempts that fell to the cohort
+  std::uint64_t disengages = 0;     // engaged -> fissioned transitions
+  std::uint64_t reengages = 0;      // fissioned -> engaged transitions
+  std::uint64_t gate_timeouts = 0;  // abortable: gave up waiting on the gate
+};
+
+template <composed_cohort_lock Inner>
+class fissile_lock {
+ public:
+  using inner_lock = Inner;
+
+  struct context {
+    typename Inner::context inner{};
+    bool fast = false;  // which path this acquisition took; set by lock()
+  };
+
+  fissile_lock() = default;
+
+  explicit fissile_lock(pass_policy policy, unsigned clusters = 0,
+                        fastpath_policy fp = {})
+      : fp_(fp), inner_(policy, clusters) {}
+
+  fissile_lock(const fissile_lock&) = delete;
+  fissile_lock& operator=(const fissile_lock&) = delete;
+
+  void lock(context& ctx) {
+    if (try_fast()) {
+      ctx.fast = true;
+      return;
+    }
+    ctx.fast = false;
+    inner_.lock(ctx.inner);
+    gate(deadline_never());  // cannot fail with infinite patience
+  }
+
+  // Bounded-patience acquisition, available when the inner cohort lock is
+  // abortable.  A thread that acquired the inner lock but times out on the
+  // gate backs out by releasing the inner lock normally -- a successor may
+  // inherit G and retry the gate with its own patience.
+  bool try_lock(context& ctx, deadline d)
+    requires requires(Inner& i, typename Inner::context& c, deadline dd) {
+      { i.try_lock(c, dd) } -> std::same_as<bool>;
+    }
+  {
+    if (try_fast()) {
+      ctx.fast = true;
+      return true;
+    }
+    ctx.fast = false;
+    if (!inner_.try_lock(ctx.inner, d)) return false;
+    if (!gate(d)) {
+      gate_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      inner_.unlock(ctx.inner);
+      return false;
+    }
+    return true;
+  }
+
+  // Reports the release kind like the inner transformations do: a fast
+  // release never held the global lock, so the next acquirer must earn the
+  // gate itself -- that is release_kind::global.
+  release_kind unlock(context& ctx) {
+    // Release the gate first in both paths: for slow releases the inner
+    // handoff successor will spin on it, and holding it across the inner
+    // release would serialise the handoff behind this thread.
+    word_.store(word_free, std::memory_order_release);
+    if (ctx.fast) return release_kind::global;
+    const release_kind kind = inner_.unlock(ctx.inner);
+    if (kind == release_kind::local) {
+      // A cluster-mate inherited G: traffic is live, drain streak over.
+      drains_.store(0, std::memory_order_relaxed);
+    } else if (drains_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+               fp_.reengage_drains) {
+      reengage();
+    }
+    return kind;
+  }
+
+  bool fast_path_engaged() const {
+    return engaged_.load(std::memory_order_relaxed);
+  }
+
+  unsigned clusters() const noexcept { return inner_.clusters(); }
+  const fastpath_policy& fastpath() const noexcept { return fp_; }
+  Inner& inner() noexcept { return inner_; }
+  auto& global() noexcept { return inner_.global(); }
+  template <typename F>
+  void for_each_local(F&& f) {
+    inner_.for_each_local(static_cast<F&&>(f));
+  }
+
+  // Inner cohort stats with the fast path folded in: fast acquisitions
+  // count as acquisitions (they completed a lock() call) but not as global
+  // acquires (they never touched G), preserving the quiescent identity
+  //   acquisitions == fast_acquires + global_acquires + local_handoffs
+  //                   + handoff_failures.
+  // Mid-run samples are race-free: every constituent is a relaxed-atomic
+  // cell.  Returns cohort_stats or abortable_stats, matching Inner.
+  auto stats() const {
+    auto s = inner_.stats();
+    s.fast_acquires = fast_acquires_.get();
+    s.fissions = fissions_.load(std::memory_order_relaxed);
+    s.acquisitions += s.fast_acquires;
+    return s;
+  }
+
+  fastpath_stats fp_stats() const {
+    fastpath_stats s;
+    s.fast_acquires = fast_acquires_.get();
+    s.fissions = fissions_.load(std::memory_order_relaxed);
+    s.disengages = disengages_.load(std::memory_order_relaxed);
+    s.reengages = reengages_.load(std::memory_order_relaxed);
+    s.gate_timeouts = gate_timeouts_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  static constexpr std::uint32_t word_free = 0;
+  static constexpr std::uint32_t word_held = 1;
+
+  // One CAS, no waiting: the fast path either wins the gate immediately or
+  // fissions into the cohort slow path.
+  bool try_fast() {
+    if (!engaged_.load(std::memory_order_relaxed)) return false;
+    std::uint32_t expect = word_free;
+    if (word_.load(std::memory_order_relaxed) == word_free &&
+        word_.compare_exchange_strong(expect, word_held,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      // A success ends any failure streak; skip the store when the counter
+      // is already clear so the steady fast path never dirties line 1.
+      if (failures_.load(std::memory_order_relaxed) != 0)
+        failures_.store(0, std::memory_order_relaxed);
+      ++fast_acquires_;  // holder-serialised cell, sampled concurrently
+      return true;
+    }
+    fissions_.fetch_add(1, std::memory_order_relaxed);
+    if (failures_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+        fp_.fission_limit)
+      disengage();
+    return false;
+  }
+
+  // Slow-path gate acquisition, entered holding the inner cohort lock, so
+  // at most one thread is ever here.  Competition comes only from fast
+  // arrivals; after fission_limit failed attempts we disengage the fast
+  // path, after which only already-in-flight fast CASes can take the word
+  // and the acquisition completes in bounded time.
+  bool gate(deadline d) {
+    spin_wait w;
+    std::uint32_t attempts = 0;
+    for (;;) {
+      std::uint32_t expect = word_free;
+      if (word_.load(std::memory_order_relaxed) == word_free &&
+          word_.compare_exchange_weak(expect, word_held,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed))
+        return true;
+      if (++attempts == fp_.fission_limit) disengage();
+      if (expired(d)) return false;
+      w.spin();
+    }
+  }
+
+  void disengage() {
+    if (engaged_.exchange(false, std::memory_order_relaxed)) {
+      disengages_.fetch_add(1, std::memory_order_relaxed);
+      drains_.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void reengage() {
+    drains_.store(0, std::memory_order_relaxed);
+    if (!engaged_.exchange(true, std::memory_order_relaxed)) {
+      reengages_.fetch_add(1, std::memory_order_relaxed);
+      failures_.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Line 0: the gate word and the engagement flag -- everything the fast
+  // path reads or writes.  They share deliberately: an acquirer touches
+  // both back to back, and the CAS owns the line anyway.
+  alignas(destructive_interference_size) std::atomic<std::uint32_t> word_{
+      word_free};
+  std::atomic<bool> engaged_{true};
+
+  // Line 1: multi-writer hysteresis and fission counters.  Bumped only on
+  // contention/transition paths, kept off the gate line so a fissioning
+  // thread never invalidates the word the fast path is about to CAS.
+  alignas(destructive_interference_size) std::atomic<std::uint32_t>
+      failures_{0};
+  std::atomic<std::uint32_t> drains_{0};
+  std::atomic<std::uint64_t> fissions_{0};
+  std::atomic<std::uint64_t> disengages_{0};
+  std::atomic<std::uint64_t> reengages_{0};
+  std::atomic<std::uint64_t> gate_timeouts_{0};
+
+  // Line 2: the holder-serialised fast-acquire cell (coordinators sample
+  // it mid-run) and the cold policy words.
+  alignas(destructive_interference_size) stat_cell fast_acquires_{};
+  fastpath_policy fp_{};
+
+  // The inner composed cohort lock (its slots are padded internally).
+  Inner inner_{};
+};
+
+}  // namespace cohort

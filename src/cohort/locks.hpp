@@ -16,6 +16,7 @@
 
 #include "cohort/abortable.hpp"
 #include "cohort/cohort_lock.hpp"
+#include "cohort/fastpath.hpp"
 #include "locks/clh.hpp"
 #include "locks/mcs.hpp"
 #include "locks/park.hpp"
@@ -40,5 +41,18 @@ using a_c_bo_clh_lock =
 // sleep in the kernel on the futex-based global lock while the owning
 // cluster works through its batch.
 using c_park_mcs_lock = cohort_lock<park_lock, cohort_mcs_lock>;
+
+// Fissile-style fast-path variants (fastpath.hpp): one top-level CAS when
+// the lock is quiet, fission into the cohort slow path -- with hysteresis --
+// when it is not.  Registered as "<name>-fp"; every cohort composition above
+// has one.
+using c_bo_bo_fp_lock = fissile_lock<c_bo_bo_lock>;
+using c_tkt_tkt_fp_lock = fissile_lock<c_tkt_tkt_lock>;
+using c_bo_mcs_fp_lock = fissile_lock<c_bo_mcs_lock>;
+using c_tkt_mcs_fp_lock = fissile_lock<c_tkt_mcs_lock>;
+using c_mcs_mcs_fp_lock = fissile_lock<c_mcs_mcs_lock>;
+using c_park_mcs_fp_lock = fissile_lock<c_park_mcs_lock>;
+using a_c_bo_bo_fp_lock = fissile_lock<a_c_bo_bo_lock>;
+using a_c_bo_clh_fp_lock = fissile_lock<a_c_bo_clh_lock>;
 
 }  // namespace cohort

@@ -13,18 +13,21 @@ const std::vector<std::string>& all_lock_names() {
 
 const std::vector<std::string>& cohort_lock_names() {
   static const std::vector<std::string> names = {
-      "C-BO-BO",   "C-TKT-TKT",  "C-BO-MCS",  "C-TKT-MCS",
-      "C-MCS-MCS", "C-PARK-MCS", "A-C-BO-BO", "A-C-BO-CLH"};
+      "C-BO-BO",      "C-TKT-TKT",    "C-BO-MCS",     "C-TKT-MCS",
+      "C-MCS-MCS",    "C-PARK-MCS",   "A-C-BO-BO",    "A-C-BO-CLH",
+      "C-BO-BO-fp",   "C-TKT-TKT-fp", "C-BO-MCS-fp",  "C-TKT-MCS-fp",
+      "C-MCS-MCS-fp", "C-PARK-MCS-fp", "A-C-BO-BO-fp", "A-C-BO-CLH-fp"};
   return names;
 }
 
 const std::vector<std::string>& abortable_lock_names() {
   // Everything with a bounded-patience acquisition path: the paper's Figure 6
   // locks plus the TATAS family, whose try_lock(deadline) is abortable by
-  // construction.
+  // construction, and the fast-path variants of the abortable cohort locks.
   static const std::vector<std::string> names = {
-      "BO",    "Fib-BO",    "A-CLH",     "HBO",
-      "HBO-tuned", "A-C-BO-BO", "A-C-BO-CLH"};
+      "TATAS",     "BO",        "Fib-BO",      "A-CLH",        "HBO",
+      "HBO-tuned", "A-C-BO-BO", "A-C-BO-CLH",  "A-C-BO-BO-fp",
+      "A-C-BO-CLH-fp"};
   return names;
 }
 

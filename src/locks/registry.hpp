@@ -48,6 +48,7 @@ inline unsigned effective_clusters(const lock_params& lp) {
 // arguments may use `k` (effective cluster count) and `pp` (pass policy).
 #define COHORT_REGISTRY_FOR_EACH_LOCK(X)           \
   X("pthread", pthread_lock, ())                   \
+  X("TATAS", tas_spin_lock, ())                    \
   X("BO", bo_lock, ())                             \
   X("Fib-BO", fib_bo_lock, ())                     \
   X("TKT", ticket_lock, ())                        \
@@ -65,7 +66,15 @@ inline unsigned effective_clusters(const lock_params& lp) {
   X("C-MCS-MCS", c_mcs_mcs_lock, (pp, k))          \
   X("C-PARK-MCS", c_park_mcs_lock, (pp, k))        \
   X("A-C-BO-BO", a_c_bo_bo_lock, (pp, k))          \
-  X("A-C-BO-CLH", a_c_bo_clh_lock, (pp, k))
+  X("A-C-BO-CLH", a_c_bo_clh_lock, (pp, k))        \
+  X("C-BO-BO-fp", c_bo_bo_fp_lock, (pp, k))        \
+  X("C-TKT-TKT-fp", c_tkt_tkt_fp_lock, (pp, k))    \
+  X("C-BO-MCS-fp", c_bo_mcs_fp_lock, (pp, k))      \
+  X("C-TKT-MCS-fp", c_tkt_mcs_fp_lock, (pp, k))    \
+  X("C-MCS-MCS-fp", c_mcs_mcs_fp_lock, (pp, k))    \
+  X("C-PARK-MCS-fp", c_park_mcs_fp_lock, (pp, k))  \
+  X("A-C-BO-BO-fp", a_c_bo_bo_fp_lock, (pp, k))    \
+  X("A-C-BO-CLH-fp", a_c_bo_clh_fp_lock, (pp, k))
 
 // Invokes fn with a zero-argument factory for the named lock type.  Returns
 // false for unknown names.  fn must be a generic callable (it is

@@ -17,10 +17,39 @@ namespace cohort {
 // and 128 covers adjacent-line prefetchers when doubled padding is requested.
 inline constexpr std::size_t cache_line_size = 64;
 
-// A T padded out to a whole number of cache lines and aligned to one.
-// Access the payload through get()/operator*.
+// Destructive-interference padding for state that distinct threads hammer
+// concurrently (stat cells vs. lock words, the fast-path word vs. its
+// hysteresis counters).  Where the library header provides the constant we
+// honour it -- it may be 128 on targets with adjacent-line prefetch -- and
+// fall back to cache_line_size elsewhere.
+#if defined(__cpp_lib_hardware_interference_size)
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
+#endif
+inline constexpr std::size_t destructive_interference_size =
+    std::hardware_destructive_interference_size > cache_line_size
+        ? std::hardware_destructive_interference_size
+        : cache_line_size;
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#else
+inline constexpr std::size_t destructive_interference_size = cache_line_size;
+#endif
+
+namespace detail {
+// Stride padded<T> rounds to: at least a cache line, and never weaker than
+// T's own alignment (T may carry destructive_interference_size members).
 template <typename T>
-struct alignas(cache_line_size) padded {
+inline constexpr std::size_t pad_stride =
+    alignof(T) > cache_line_size ? alignof(T) : cache_line_size;
+}  // namespace detail
+
+// A T padded out to a whole number of cache lines (or of T's own stricter
+// alignment) and aligned to one.  Access the payload through get()/operator*.
+template <typename T>
+struct alignas(detail::pad_stride<T>) padded {
   T value{};
 
   padded() = default;
@@ -36,11 +65,12 @@ struct alignas(cache_line_size) padded {
   const T* operator->() const noexcept { return &value; }
 
  private:
-  // Tail padding so sizeof(padded<T>) is a multiple of the line size even
+  // Tail padding so sizeof(padded<T>) is a multiple of the stride even
   // when T is larger than one line.
-  char pad_[(sizeof(T) % cache_line_size) == 0
-                ? cache_line_size
-                : cache_line_size - (sizeof(T) % cache_line_size)] = {};
+  char pad_[(sizeof(T) % detail::pad_stride<T>) == 0
+                ? detail::pad_stride<T>
+                : detail::pad_stride<T> -
+                      (sizeof(T) % detail::pad_stride<T>)] = {};
 };
 
 static_assert(sizeof(padded<char>) == cache_line_size);

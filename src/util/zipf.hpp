@@ -1,0 +1,54 @@
+// Zipfian index sampler for skewed workload generation.
+//
+// P(k) ∝ 1/(k+1)^theta over [0, n): index 0 is the hottest item.  The
+// sampler precomputes the cumulative distribution once (O(n) doubles, built
+// before the worker threads start) and answers each draw with a binary
+// search, so sampling itself allocates nothing and is safe to share
+// read-only across threads -- each worker draws through its own RNG.
+//
+// theta == 0 degenerates to the uniform distribution and skips the table
+// entirely, so an unskewed workload pays nothing.  Typical web-cache skew
+// is theta ≈ 0.99 (the YCSB default); theta > 1 concentrates most traffic
+// on a handful of keys.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cohort {
+
+class zipf_sampler {
+ public:
+  // n = population size; theta <= 0 selects the uniform fallback.
+  zipf_sampler(std::size_t n, double theta) : n_(n != 0 ? n : 1) {
+    if (theta <= 0.0) return;
+    cdf_.resize(n_);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < n_; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+      cdf_[k] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+    cdf_.back() = 1.0;  // guard against rounding leaving the tail short
+  }
+
+  bool uniform() const noexcept { return cdf_.empty(); }
+
+  // Draw one index in [0, n) through the caller's RNG.
+  std::size_t operator()(xorshift& rng) const {
+    if (cdf_.empty()) return static_cast<std::size_t>(rng.next_range(n_));
+    const double u = rng.next_double();
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> cdf_;  // empty => uniform
+};
+
+}  // namespace cohort

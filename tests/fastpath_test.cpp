@@ -1,0 +1,221 @@
+// Behavioural tests of the Fissile-style fast path (cohort/fastpath.hpp):
+// mixed fast/slow mutual exclusion, the quiescent stats identity
+// (acquisitions == fast_acquires + global_acquires + local_handoffs +
+// handoff_failures), and the engage -> fissioned -> re-engaged hysteresis
+// transitions, exercised deterministically.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "cohort/locks.hpp"
+#include "numa/topology.hpp"
+
+namespace cohort {
+namespace {
+
+class FastPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    numa::set_system_topology(numa::topology::synthetic(2));
+    numa::reset_round_robin_for_test();
+  }
+};
+
+// The quiescent identity every fissile lock must satisfy.
+template <typename Stats>
+void expect_identity(const Stats& s, const char* what) {
+  EXPECT_EQ(s.acquisitions, s.fast_acquires + s.global_acquires +
+                                s.local_handoffs + s.handoff_failures)
+      << what;
+}
+
+TEST_F(FastPathTest, SoloTrafficStaysOnFastPath) {
+  numa::set_thread_cluster(0);
+  c_tkt_tkt_fp_lock lock;
+  for (int i = 0; i < 100; ++i) {
+    c_tkt_tkt_fp_lock::context ctx;
+    lock.lock(ctx);
+    lock.unlock(ctx);
+  }
+  const auto s = lock.stats();
+  // An uncontended acquirer takes one CAS and never touches the local queue
+  // or the global lock.
+  EXPECT_EQ(s.acquisitions, 100u);
+  EXPECT_EQ(s.fast_acquires, 100u);
+  EXPECT_EQ(s.global_acquires, 0u);
+  EXPECT_EQ(s.local_handoffs, 0u);
+  EXPECT_EQ(s.fissions, 0u);
+  EXPECT_TRUE(lock.fast_path_engaged());
+  expect_identity(s, "solo");
+}
+
+TEST_F(FastPathTest, MixedFastSlowMutualExclusion) {
+  c_bo_mcs_fp_lock lock(pass_policy{}, /*clusters=*/2);
+  long counter = 0;  // non-atomic: the lock is the only synchronisation
+  constexpr int kThreads = 4, kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      c_bo_mcs_fp_lock::context ctx;
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock(ctx);
+        ++counter;
+        lock.unlock(ctx);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+  const auto s = lock.stats();
+  EXPECT_EQ(s.acquisitions, static_cast<std::uint64_t>(kThreads) * kIters);
+  expect_identity(s, "mixed");
+}
+
+TEST_F(FastPathTest, AggressiveHysteresisKeepsMutualExclusion) {
+  // fission_limit 1 / reengage_drains 1 maximises engage/disengage churn:
+  // every failed CAS disengages, every drained release re-engages, so fast
+  // and slow acquirers constantly interleave across the transition edges.
+  c_tkt_tkt_fp_lock lock(pass_policy{.limit = 4}, 2,
+                         fastpath_policy{.fission_limit = 1,
+                                         .reengage_drains = 1});
+  long counter = 0;
+  constexpr int kThreads = 4, kIters = 1500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      c_tkt_tkt_fp_lock::context ctx;
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock(ctx);
+        ++counter;
+        lock.unlock(ctx);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+  expect_identity(lock.stats(), "aggressive hysteresis");
+  // Transitions alternate starting from the engaged construction state.
+  const auto fs = lock.fp_stats();
+  EXPECT_GE(fs.disengages, fs.reengages);
+}
+
+TEST_F(FastPathTest, ContentionDisengagesThenDrainReengages) {
+  numa::set_thread_cluster(0);
+  c_tkt_tkt_fp_lock lock(pass_policy{}, 2,
+                         fastpath_policy{.fission_limit = 2,
+                                         .reengage_drains = 3});
+  ASSERT_TRUE(lock.fast_path_engaged());
+
+  // Hold the lock through the fast path, then let a second thread fission
+  // against it: its failed CASes must disengage the fast path while we
+  // still hold the gate.
+  c_tkt_tkt_fp_lock::context holder;
+  lock.lock(holder);
+  EXPECT_EQ(lock.stats().fast_acquires, 1u);
+
+  std::thread waiter([&] {
+    numa::set_thread_cluster(1);
+    c_tkt_tkt_fp_lock::context ctx;
+    lock.lock(ctx);  // fissions into the cohort, spins on the gate
+    lock.unlock(ctx);
+  });
+  // The waiter disengages after fission_limit failed gate attempts; only
+  // then do we release, so the transition is deterministic.
+  while (lock.fast_path_engaged()) std::this_thread::yield();
+  lock.unlock(holder);
+  waiter.join();
+
+  auto fs = lock.fp_stats();
+  EXPECT_FALSE(lock.fast_path_engaged());
+  EXPECT_GE(fs.fissions, 1u);
+  EXPECT_EQ(fs.disengages, 1u);
+  EXPECT_EQ(fs.reengages, 0u);
+
+  // Drained solo traffic now flows through the slow path; every release is
+  // a global release, and the reengage_drains-th consecutive one (the
+  // waiter's own drained release already counted) re-engages.
+  int slow_iters = 0;
+  while (!lock.fast_path_engaged()) {
+    c_tkt_tkt_fp_lock::context ctx;
+    lock.lock(ctx);
+    lock.unlock(ctx);
+    ASSERT_LE(++slow_iters, 3);
+  }
+  EXPECT_GE(slow_iters, 1);
+  EXPECT_EQ(lock.fp_stats().reengages, 1u);
+
+  // And the next acquisition rides the fast path again.
+  const auto fast_before = lock.stats().fast_acquires;
+  c_tkt_tkt_fp_lock::context ctx;
+  lock.lock(ctx);
+  lock.unlock(ctx);
+  EXPECT_EQ(lock.stats().fast_acquires, fast_before + 1);
+  expect_identity(lock.stats(), "transitions");
+}
+
+TEST_F(FastPathTest, AbortableGateTimeoutBacksOutCleanly) {
+  numa::set_thread_cluster(0);
+  a_c_bo_bo_fp_lock lock(pass_policy{}, 2);
+
+  a_c_bo_bo_fp_lock::context holder;
+  ASSERT_TRUE(lock.try_lock(holder, deadline_never()));  // fast acquire
+
+  std::thread waiter([&] {
+    numa::set_thread_cluster(1);
+    a_c_bo_bo_fp_lock::context ctx;
+    // Fissions, acquires the inner cohort lock, then times out waiting on
+    // the gate and must back the inner acquisition out.  (Generous budget:
+    // sanitizer runs on a loaded host must reach the gate before expiry.)
+    EXPECT_FALSE(
+        lock.try_lock(ctx, deadline_after(std::chrono::milliseconds(250))));
+  });
+  waiter.join();
+  // The holder went fast and never touched the inner lock, so the waiter
+  // sailed through the inner protocol and must have timed out on the gate.
+  EXPECT_GE(lock.fp_stats().gate_timeouts, 1u);
+
+  lock.unlock(holder);
+
+  // The lock must still work after the back-out, on either path.
+  a_c_bo_bo_fp_lock::context again;
+  ASSERT_TRUE(lock.try_lock(again, deadline_after(std::chrono::seconds(5))));
+  lock.unlock(again);
+  expect_identity(lock.stats(), "abortable back-out");
+}
+
+TEST_F(FastPathTest, AbortableMixedStressKeepsIdentity) {
+  a_c_bo_clh_fp_lock lock(pass_policy{.limit = 8}, 2);
+  std::atomic<long> completed{0};
+  long counter = 0;
+  constexpr int kThreads = 4, kIters = 800;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      a_c_bo_clh_fp_lock::context ctx;
+      for (int i = 0; i < kIters; ++i) {
+        if (lock.try_lock(ctx,
+                          deadline_after(std::chrono::microseconds(200)))) {
+          ++counter;
+          lock.unlock(ctx);
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, completed.load());
+  // Acquisitions include backed-out inner acquisitions (they completed the
+  // inner protocol), so the identity is >= the critical sections entered.
+  const auto s = lock.stats();
+  EXPECT_GE(s.acquisitions, static_cast<std::uint64_t>(completed.load()));
+  expect_identity(s, "abortable stress");
+}
+
+}  // namespace
+}  // namespace cohort

@@ -73,8 +73,26 @@ TEST_F(RealRegistryTest, CohortLocksExposeStats) {
     }
     const auto s = *lock->stats();
     EXPECT_EQ(s.acquisitions, 10u) << name;
-    EXPECT_GE(s.global_acquires, 1u) << name;
-    EXPECT_GT(s.avg_batch(), 0.0) << name;
+    // Solo acquisitions either took the global lock or -- for the -fp
+    // variants -- the top-level fast path; never a local handoff.
+    EXPECT_EQ(s.global_acquires + s.fast_acquires, 10u) << name;
+    EXPECT_EQ(s.local_handoffs, 0u) << name;
+    if (s.fast_acquires == 0) {
+      EXPECT_GT(s.avg_batch(), 0.0) << name;
+    } else {
+      // A solo fast-path lock may never touch the global lock at all.
+      EXPECT_EQ(s.fast_acquires, 10u) << name;
+    }
+  }
+}
+
+TEST_F(RealRegistryTest, EveryCohortCompositionHasAFastPathVariant) {
+  // The fast-path build must cover the whole cohort family: a composition
+  // added to the registry without its "-fp" twin fails here, not in a
+  // downstream latency comparison.
+  for (const auto& name : cohort_lock_names()) {
+    if (name.size() > 3 && name.rfind("-fp") == name.size() - 3) continue;
+    EXPECT_TRUE(is_lock_name(name + "-fp")) << name;
   }
 }
 
