@@ -1,8 +1,9 @@
 // Real-machine key-value benchmark (google-benchmark): the Table 1 code path
-// executed for real -- a memaslap-style get/set mix against the sharded kv
-// engine, with the lock dispatched by registry name and the shard count as a
-// benchmark dimension, so the compared axes are the paper's table rows times
-// the sharding ablation.
+// executed for real -- the shared command-layer mix (kvstore/command.hpp,
+// the same implementation behind --workload kv/kvnet and the server)
+// against the sharded kv engine, with the lock dispatched by registry name
+// and the shard count as a benchmark dimension, so the compared axes are
+// the paper's table rows times the sharding ablation.
 #include <benchmark/benchmark.h>
 
 #include <functional>
@@ -11,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "kvstore/sharded_store.hpp"
+#include "kvstore/command.hpp"
 #include "locks/registry.hpp"
 #include "numa/topology.hpp"
 #include "util/rng.hpp"
@@ -38,8 +39,8 @@ struct kv_fixture {
     std::call_once(once_, [&] {
       store_ = std::make_unique<kvstore::sharded_store<Lock>>(
           kvstore::kv_config{.shards = shards_, .buckets = 1024}, make_);
-      auto h = store_->make_handle();
-      for (const auto& k : keyspace()) store_->set(h, k, "initial-value");
+      kvstore::prefill_keyspace(*store_, keyspace(), "initial-value",
+                                /*numa_place=*/false);
     });
     return *store_;
   }
@@ -57,17 +58,13 @@ void bench_kv_mix(benchmark::State& state,
   cohort::numa::set_thread_cluster(
       static_cast<unsigned>(state.thread_index()));
   auto& store = fix->store();
-  auto h = store.make_handle();
+  kvstore::command_executor ex(store);
   const double get_ratio = static_cast<double>(state.range(0)) / 100.0;
+  const kvstore::mix_workload mix(keyspace(), get_ratio, /*zipf_theta=*/0.0,
+                                  "updated-value");
   cohort::xorshift rng(static_cast<std::uint64_t>(state.thread_index()) + 1);
-  const auto& keys = keyspace();
   for (auto _ : state) {
-    const auto& key = keys[rng.next_range(keys.size())];
-    if (rng.next_double() < get_ratio) {
-      benchmark::DoNotOptimize(store.get(h, key));
-    } else {
-      store.set(h, key, "updated-value");
-    }
+    benchmark::DoNotOptimize(mix.step(ex, rng));
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -1,94 +1,177 @@
-// memaslap-style load driver against the real sharded kv engine (the paper's
-// memcached experiment, §4.2, executed on the host and grown along the shard
-// axis).
+// The kv server binary (DESIGN.md §6): the sharded NUMA-aware engine of
+// §4.2 behind a real network front-end -- epoll event-loop workers speaking
+// the memcached text-protocol subset, every operation routed through the
+// shared command layer, cache lock chosen by registry name.
 //
-//   build/kvstore_server [threads] [get_percent] [seconds] [lock] [shards]
+//   build/kvstore_server --lock C-TKT-TKT --shards 4 --port 11222
+//   printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 11222
 //
-// Drives a get/set mix against the sharded_store through the type-erased
-// any_lock policy path -- any registry lock name (default C-TKT-TKT, the
-// paper's memcached winner) -- and prints throughput plus each shard's
-// cohort batching statistics when its lock keeps them.
+// --port 0 binds an ephemeral port; the "listening on" line reports the
+// real one (the CI loopback smoke job scrapes it).  SIGINT/SIGTERM stop the
+// workers, drain the connections, and print the engine's quiescent shard
+// report before exiting 0 -- a clean shutdown under ASan is part of the CI
+// contract.
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
-#include <vector>
 
-#include "kvstore/sharded_store.hpp"
+#include "kvstore/command.hpp"
+#include "net/server.hpp"
 #include "numa/topology.hpp"
-#include "util/rng.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --host H             bind address (default 127.0.0.1)\n"
+      "  --port P             TCP port; 0 = ephemeral (default 11222)\n"
+      "  --lock NAME          registry cache lock (default C-TKT-TKT)\n"
+      "  --shards N           engine shards (default 4)\n"
+      "  --buckets N          hash buckets per shard (default 4096)\n"
+      "  --max-items N        eviction budget, 0 = off (default 0)\n"
+      "  --io-threads N       event-loop worker threads (default 2)\n"
+      "  --net-pin            pin io threads to NUMA clusters\n"
+      "  --numa-place         first-touch shards on their home cluster\n"
+      "  --max-value-bytes N  largest accepted value (default 1 MiB)\n"
+      "  --pass-limit N       cohort may-pass-local bound (default 64)\n"
+      "  --prefill N          preload N keys (key0..) before serving\n"
+      "  --duration S         serve S seconds then exit; 0 = until signal\n",
+      argv0);
+}
+
+bool parse_u64(const char* s, unsigned long long& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
-  const int get_percent = argc > 2 ? std::atoi(argv[2]) : 90;
-  const double seconds = argc > 3 ? std::atof(argv[3]) : 2.0;
-  const std::string lock_name = argc > 4 ? argv[4] : "C-TKT-TKT";
-  const int shards_arg = argc > 5 ? std::atoi(argv[5]) : 4;
-  if (threads <= 0 || shards_arg <= 0) {
-    std::fprintf(stderr,
-                 "usage: %s [threads] [get_percent] [seconds] [lock] [shards]"
-                 " (threads and shards must be positive)\n",
-                 argv[0]);
-    return 2;
+  std::string host = "127.0.0.1";
+  unsigned long long port = 11222;
+  std::string lock_name = "C-TKT-TKT";
+  kvstore::kv_config kcfg{.shards = 4, .buckets = 4096, .max_items = 0,
+                          .numa_place = false};
+  cohort::net::server_config scfg;
+  cohort::reg::lock_params lp;
+  unsigned long long prefill = 0;
+  double duration_s = 0.0;
+  scfg.io_threads = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    unsigned long long n = 0;
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port" && parse_u64(next(), n) && n <= 65535) {
+      port = n;
+    } else if (arg == "--lock") {
+      lock_name = next();
+    } else if (arg == "--shards" && parse_u64(next(), n) && n > 0) {
+      kcfg.shards = static_cast<std::size_t>(n);
+    } else if (arg == "--buckets" && parse_u64(next(), n) && n > 0) {
+      kcfg.buckets = static_cast<std::size_t>(n);
+    } else if (arg == "--max-items" && parse_u64(next(), n)) {
+      kcfg.max_items = static_cast<std::size_t>(n);
+    } else if (arg == "--io-threads" && parse_u64(next(), n) && n > 0) {
+      scfg.io_threads = static_cast<unsigned>(n);
+    } else if (arg == "--net-pin") {
+      scfg.pin_io_threads = true;
+    } else if (arg == "--numa-place") {
+      kcfg.numa_place = true;
+    } else if (arg == "--max-value-bytes" && parse_u64(next(), n) && n > 0) {
+      scfg.limits.max_value_bytes = static_cast<std::size_t>(n);
+    } else if (arg == "--pass-limit" && parse_u64(next(), n)) {
+      lp.pass_limit = n;
+    } else if (arg == "--prefill" && parse_u64(next(), n)) {
+      prefill = n;
+    } else if (arg == "--duration") {
+      duration_s = std::atof(next());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: bad argument '%s'\n", argv[0], arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
   }
-  const auto shards = static_cast<std::size_t>(shards_arg);
+  scfg.host = host;
+  scfg.port = static_cast<std::uint16_t>(port);
 
-  if (cohort::numa::system_topology().clusters() == 1)
-    cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
-
-  auto store = kvstore::make_any_sharded_store(
-      lock_name, {.shards = shards, .buckets = 4096});
+  auto store = kvstore::make_any_sharded_store(lock_name, kcfg, lp);
   if (store == nullptr) {
     std::fprintf(stderr, "unknown lock '%s' (see cohort_bench --list)\n",
                  lock_name.c_str());
     return 2;
   }
-  std::printf("cache lock           = %s x %zu shards\n", lock_name.c_str(),
-              store->shard_count());
-
-  const auto keys = kvstore::make_keyspace(10'000);
-  {
-    auto h = store->make_handle();
-    for (const auto& k : keys) store->set(h, k, std::string(64, 'x'));
+  if (prefill != 0) {
+    const auto keys =
+        kvstore::make_keyspace(static_cast<std::size_t>(prefill));
+    kvstore::prefill_keyspace(*store, keys, std::string(64, 'x'),
+                              kcfg.numa_place);
   }
 
-  std::atomic<bool> stop{false};
-  std::atomic<long> ops{0};
-  std::vector<std::thread> workers;
-  for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      cohort::numa::set_thread_cluster(static_cast<unsigned>(t));
-      auto h = store->make_handle();
-      cohort::xorshift rng(static_cast<std::uint64_t>(t) + 42);
-      long local = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        const auto& key = keys[rng.next_range(keys.size())];
-        if (rng.next_range(100) < static_cast<std::uint64_t>(get_percent)) {
-          (void)store->get(h, key);
-        } else {
-          store->set(h, key, std::string(64, 'y'));
-        }
-        ++local;
-      }
-      ops.fetch_add(local, std::memory_order_relaxed);
-    });
+  cohort::net::kv_server server(*store, scfg);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "failed to start: %s\n", err.c_str());
+    return 1;
   }
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-  stop = true;
-  for (auto& w : workers) w.join();
 
-  // Workers are joined: quiescent reads of the per-shard counters are safe.
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::printf("listening on %s:%u\n", host.c_str(), server.port());
+  std::printf("cache lock = %s x %zu shards, %u io threads%s%s\n",
+              lock_name.c_str(), store->shard_count(), scfg.io_threads,
+              scfg.pin_io_threads ? ", pinned" : "",
+              kcfg.numa_place ? ", numa-placed" : "");
+  std::fflush(stdout);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (duration_s > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count() >= duration_s)
+      break;
+  }
+
+  server.stop();
+
+  // Workers joined: quiescent reads of the engine are exact now.
+  const auto sc = server.counters();
   const auto ks = store->stats();
-  std::printf("mix                  = %d%% gets / %d%% sets, %d threads\n",
-              get_percent, 100 - get_percent, threads);
-  std::printf("throughput           = %.0f ops/sec\n",
-              static_cast<double>(ops.load()) / seconds);
-  std::printf("gets=%llu (hits %llu)  sets=%llu  items=%zu\n",
+  std::printf("served %llu commands on %llu connections "
+              "(%llu protocol errors)\n",
+              static_cast<unsigned long long>(sc.commands),
+              static_cast<unsigned long long>(sc.connections),
+              static_cast<unsigned long long>(sc.protocol_errors));
+  std::printf("gets=%llu (hits %llu)  sets=%llu  deletes=%llu  items=%zu\n",
               static_cast<unsigned long long>(ks.gets),
               static_cast<unsigned long long>(ks.get_hits),
-              static_cast<unsigned long long>(ks.sets), store->size());
+              static_cast<unsigned long long>(ks.sets),
+              static_cast<unsigned long long>(ks.deletes), store->size());
   for (std::size_t s = 0; s < store->shard_count(); ++s) {
     if (auto ls = store->lock_stats(s))
       std::printf(

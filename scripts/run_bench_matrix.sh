@@ -3,13 +3,17 @@
 # file: every registry lock on the "cs" microbenchmark, a contention sweep
 # (threads = 1, 2, one-per-cluster, saturation) of the fast-path locks
 # against their baselines and TATAS -- so the low-contention fast-path win
-# and the saturation non-regression land side by side -- a lock x
+# and the saturation non-regression land side by side -- a fast-path
+# hysteresis sweep over the fission_limit x reengage_drains knobs, a lock x
 # shard-count sweep of the "kv" application workload recorded as
 # placed/unplaced pairs (the NUMA-placement ablation: identical configs
 # differing only in numa_place, so a real NUMA box can diff first-touch
-# placement against lock-carried NUMA awareness directly), and every
-# registry lock on the "alloc" (mmicro) workload, merged into one JSON
-# array.  Every record carries windows[] batch-length telemetry.
+# placement against lock-carried NUMA awareness directly), a lock x threads
+# sweep of the "kvnet" served workload (the same mix through loopback
+# sockets and the epoll front-end), and every registry lock on the "alloc"
+# (mmicro) workload plus a Zipf size-class ablation pair, merged into one
+# JSON array.  Every record carries windows[] batch-length telemetry; kv
+# and kvnet records add per-shard hit-rate per window.
 #
 #   scripts/run_bench_matrix.sh [--dry-run] [out.json]
 #
@@ -26,10 +30,21 @@
 #   KV_LOCKS   locks for the kv sweep
 #                        (default: pthread C-TKT-TKT C-TKT-TKT-fp C-BO-MCS)
 #   KV_SHARDS  shard counts for the kv sweep               (default: 1 4 16)
+#   NET_LOCKS    locks for the kvnet served sweep
+#                        (default: pthread C-TKT-TKT C-TKT-TKT-fp)
+#   NET_THREADS  client connection counts for kvnet
+#                        (default: "2 <THREADS>", deduplicated)
+#   NET_IO_THREADS  server event-loop threads for kvnet    (default: 2)
+#   NET_SHARDS      engine shards for kvnet                (default: 4)
 #   SWEEP_LOCKS    locks for the contention sweep
 #                        (default: TATAS plus each -fp lock and its baseline)
 #   SWEEP_THREADS  thread counts for the contention sweep
 #                        (default: "1 2 <clusters> <THREADS>", deduplicated)
+#   FP_HYST_LOCK      lock for the hysteresis sweep (default: C-TKT-TKT-fp)
+#   FP_FISSION_LIMITS fission_limit axis             (default: "2 8 32")
+#   FP_REENGAGE_DRAINS reengage_drains axis          (default: "1 4 16")
+#   ALLOC_SIZE_ZIPF   theta for the alloc size-class ablation (default: 1.1)
+#   ALLOC_ZIPF_LOCKS  locks for that ablation (default: pthread C-TKT-TKT)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -51,6 +66,14 @@ DURATION=${DURATION:-1}
 REPS=${REPS:-3}
 KV_LOCKS=${KV_LOCKS:-pthread C-TKT-TKT C-TKT-TKT-fp C-BO-MCS}
 KV_SHARDS=${KV_SHARDS:-1 4 16}
+NET_LOCKS=${NET_LOCKS:-pthread C-TKT-TKT C-TKT-TKT-fp}
+NET_IO_THREADS=${NET_IO_THREADS:-2}
+NET_SHARDS=${NET_SHARDS:-4}
+FP_HYST_LOCK=${FP_HYST_LOCK:-C-TKT-TKT-fp}
+FP_FISSION_LIMITS=${FP_FISSION_LIMITS:-2 8 32}
+FP_REENGAGE_DRAINS=${FP_REENGAGE_DRAINS:-1 4 16}
+ALLOC_SIZE_ZIPF=${ALLOC_SIZE_ZIPF:-1.1}
+ALLOC_ZIPF_LOCKS=${ALLOC_ZIPF_LOCKS:-pthread C-TKT-TKT}
 
 # Contention sweep axis: each fast-path lock, its non-fp baseline, and the
 # TATAS reference, at 1 thread (uncontended latency), 2 (first contention),
@@ -63,6 +86,8 @@ done
 [ "$host_clusters" -ge 1 ] || host_clusters=1
 SWEEP_THREADS=${SWEEP_THREADS:-1 2 $host_clusters $THREADS}
 SWEEP_THREADS=$(printf '%s\n' $SWEEP_THREADS | awk '!seen[$0]++' | tr '\n' ' ')
+NET_THREADS=${NET_THREADS:-2 $THREADS}
+NET_THREADS=$(printf '%s\n' $NET_THREADS | awk '!seen[$0]++' | tr '\n' ' ')
 
 BENCH="$BUILD_DIR/cohort_bench"
 if [ ! -x "$BENCH" ]; then
@@ -74,7 +99,7 @@ fi
 # own axes against them, so a renamed lock or workload fails loudly here.
 mapfile -t ALL_LOCKS < <("$BENCH" --list)
 WORKLOADS=$("$BENCH" --list-workloads | awk '/^[a-z]/ { print $1 }')
-for wl in cs kv alloc; do
+for wl in cs kv kvnet alloc; do
   if ! grep -qx "$wl" <<<"$WORKLOADS"; then
     echo "error: workload '$wl' missing from $BENCH --list-workloads" >&2
     exit 1
@@ -83,6 +108,12 @@ done
 for lock in $KV_LOCKS; do
   if ! printf '%s\n' "${ALL_LOCKS[@]}" | grep -qx "$lock"; then
     echo "error: KV_LOCKS entry '$lock' is not a registry lock (see $BENCH --list)" >&2
+    exit 1
+  fi
+done
+for lock in $NET_LOCKS $FP_HYST_LOCK $ALLOC_ZIPF_LOCKS; do
+  if ! printf '%s\n' "${ALL_LOCKS[@]}" | grep -qx "$lock"; then
+    echo "error: NET/FP/ALLOC lock '$lock' is not a registry lock (see $BENCH --list)" >&2
     exit 1
   fi
 done
@@ -133,8 +164,40 @@ for shards in $KV_SHARDS; do
     --reps "$REPS" --numa-place --json
 done
 
+# Fast-path hysteresis sweep (ROADMAP "fast-path tuning sweep"): one -fp
+# lock at saturation across the fission_limit x reengage_drains grid, so
+# the engage/disengage oscillation cost is visible next to the 8/4 default.
+for fl in $FP_FISSION_LIMITS; do
+  for rd in $FP_REENGAGE_DRAINS; do
+    run "$tmpdir/fp-hyst-$fl-$rd.json" --lock "$FP_HYST_LOCK" \
+      --threads "$THREADS" --fission-limit "$fl" --reengage-drains "$rd" \
+      --duration "$DURATION" --reps "$REPS" --json
+  done
+done
+
+# Served-traffic matrix: the kv mix through loopback sockets and the epoll
+# front-end, lock x client-connection count (server io threads fixed), so
+# BENCH_real.json carries the paper's §4.2 experiment end to end next to
+# the in-process kv numbers.
+net_lock_args=()
+for lock in $NET_LOCKS; do net_lock_args+=(--lock "$lock"); done
+for t in $NET_THREADS; do
+  run "$tmpdir/kvnet-$t.json" --workload kvnet "${net_lock_args[@]}" \
+    --threads "$t" --shards "$NET_SHARDS" --io-threads "$NET_IO_THREADS" \
+    --duration "$DURATION" --reps "$REPS" --json
+done
+
 # Allocator matrix: every registry lock on the mmicro loop (Table 2's axis).
 run "$tmpdir/alloc.json" --workload alloc --all --threads "$THREADS" \
+  --duration "$DURATION" --reps "$REPS" --json
+
+# Size-class skew ablation (ROADMAP "Zipfian alloc size classes"): the same
+# mmicro loop with Zipf(theta) sizes over the geometric class ladder,
+# paired with the uniform records above.
+alloc_zipf_args=()
+for lock in $ALLOC_ZIPF_LOCKS; do alloc_zipf_args+=(--lock "$lock"); done
+run "$tmpdir/alloc-zipf.json" --workload alloc "${alloc_zipf_args[@]}" \
+  --threads "$THREADS" --size-zipf "$ALLOC_SIZE_ZIPF" \
   --duration "$DURATION" --reps "$REPS" --json
 
 if [ "$DRY_RUN" = 1 ]; then

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Loopback server smoke (CI): start the kvstore_server binary on an
+# ephemeral port, run the scripted protocol exchange against it
+# (`cohort_bench --workload kvnet --smoke`: get/set/delete/stats, a
+# pipelined burst, and the malformed-command / oversized-value error
+# paths), then SIGTERM the server and require a clean exit 0 -- which,
+# under an ASan build dir, includes the leak check.
+#
+#   BUILD_DIR=build-asan scripts/server_smoke.sh
+#
+# Environment knobs:
+#   BUILD_DIR   cmake build directory with kvstore_server + cohort_bench
+#                                                        (default: build)
+#   SMOKE_LOCK  registry cache lock for the server       (default: C-TKT-TKT)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+SMOKE_LOCK=${SMOKE_LOCK:-C-TKT-TKT}
+SERVER="$BUILD_DIR/kvstore_server"
+BENCH="$BUILD_DIR/cohort_bench"
+for bin in "$SERVER" "$BENCH"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+log=$(mktemp)
+server_pid=
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -f "$log"
+}
+trap cleanup EXIT
+
+# Small value cap so the smoke's oversized set trips the SERVER_ERROR path.
+"$SERVER" --port 0 --lock "$SMOKE_LOCK" --shards 4 --io-threads 2 \
+  --max-value-bytes 65536 > "$log" 2>&1 &
+server_pid=$!
+
+port=
+for _ in $(seq 1 100); do
+  port=$(awk '/^listening on / { n = split($3, a, ":"); print a[n]; exit }' "$log")
+  [ -n "$port" ] && break
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "error: server exited during startup" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "error: server never reported its port" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "server up on port $port (lock $SMOKE_LOCK), running scripted exchange"
+
+"$BENCH" --workload kvnet --smoke --net-port "$port"
+
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+server_pid=
+if [ "$rc" -ne 0 ]; then
+  echo "error: server exit code $rc (expected clean shutdown)" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "--- server log ---"
+cat "$log"
+echo "server smoke passed"

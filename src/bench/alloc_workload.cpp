@@ -21,7 +21,8 @@ void run_alloc_typed(alloc::arena_set<Lock>& arenas, const bench_config& cfg,
   using arena_t = cohortalloc::arena<Lock>;
   const alloc::mmicro_params params{.alloc_min = cfg.alloc_min,
                                     .alloc_max = cfg.alloc_max,
-                                    .working_set = cfg.working_set};
+                                    .working_set = cfg.working_set,
+                                    .size_zipf = cfg.alloc_size_zipf};
   const unsigned clusters = res.clusters_used != 0 ? res.clusters_used : 1;
 
   // Worker state outlives the worker threads: the ring of live blocks is
@@ -42,19 +43,17 @@ void run_alloc_typed(alloc::arena_set<Lock>& arenas, const bench_config& cfg,
   };
   // Mid-run sampler for windows[]: sums the arena locks' batching counters
   // (relaxed-atomic cells; the allocator counters stay quiescent-only).
-  auto sample_stats = [&]() -> std::optional<reg::erased_stats> {
-    reg::erased_stats sum{};
-    bool any = false;
+  auto sample = [&]() -> detail::probe {
+    detail::probe p;
     for (std::size_t a = 0; a < arenas.count(); ++a) {
       if (auto ls = arenas.at(a).lock_stats()) {
-        sum += *ls;
-        any = true;
+        p.stats += *ls;
+        p.has_stats = true;
       }
     }
-    if (!any) return std::nullopt;
-    return sum;
+    return p;
   };
-  const auto totals = detail::run_window(cfg, make_body, sample_stats);
+  const auto totals = detail::run_window(cfg, make_body, sample);
 
   detail::fill_window_result(res, totals);
 
@@ -121,6 +120,8 @@ bench_result run_alloc_bench(const bench_config& cfg) {
     throw std::invalid_argument("bench: --alloc-max must be >= --alloc-min");
   if (cfg.working_set == 0)
     throw std::invalid_argument("bench: --working-set must be positive");
+  if (cfg.alloc_size_zipf < 0.0)
+    throw std::invalid_argument("bench: --size-zipf must be >= 0");
   if (cfg.arena_mb == 0)
     throw std::invalid_argument("bench: --arena-mb must be positive");
   const std::size_t bytes = cfg.arena_mb << 20;
@@ -140,8 +141,7 @@ bench_result run_alloc_bench(const bench_config& cfg) {
   res.clusters_used = numa::system_topology().clusters();
 
   const bool known = reg::with_lock_type(
-      cfg.lock_name, {.clusters = cfg.clusters, .pass_limit = cfg.pass_limit},
-      [&](auto factory) {
+      cfg.lock_name, detail::lock_params_of(cfg), [&](auto factory) {
         using lock_t = typename decltype(factory())::element_type;
         alloc::arena_set<lock_t> arenas(bytes, cfg.numa_place, factory);
         run_alloc_typed(arenas, cfg, res);

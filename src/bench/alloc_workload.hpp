@@ -21,6 +21,7 @@
 #include "alloc/arena.hpp"
 #include "numa/topology.hpp"
 #include "util/rng.hpp"
+#include "util/zipf.hpp"
 
 namespace cohort::bench::alloc {
 
@@ -75,7 +76,26 @@ struct mmicro_params {
   std::size_t alloc_min = 64;
   std::size_t alloc_max = 256;
   std::size_t working_set = 64;
+  // Size-class skew (ROADMAP "Zipfian alloc size classes"): with
+  // size_zipf > 0, request sizes come from a geometric ladder of classes
+  // (alloc_min, 2*alloc_min, ... up to alloc_max) weighted Zipf(size_zipf)
+  // with the *smallest* class hottest -- real allocator traces are
+  // small-heavy, and the mixture of rare large blocks among hot small ones
+  // is what stresses arena fragmentation and batching fairness.  0 keeps
+  // the historical uniform byte draw over [alloc_min, alloc_max].
+  double size_zipf = 0.0;
 };
+
+// The geometric size-class ladder the Zipf draw indexes: alloc_min
+// doubling up to (and always including) alloc_max.
+inline std::vector<std::size_t> size_class_ladder(std::size_t alloc_min,
+                                                  std::size_t alloc_max) {
+  std::vector<std::size_t> classes;
+  for (std::size_t s = alloc_min; s < alloc_max; s *= 2)
+    classes.push_back(s);
+  classes.push_back(alloc_max);
+  return classes;
+}
 
 // One thread's mmicro loop state: a ring of `working_set` live blocks.
 // Every block is stamped with an owner tag (derived from the thread id and
@@ -94,7 +114,12 @@ class mmicro_worker {
       : params_(p),
         slots_(p.working_set != 0 ? p.working_set : 1),
         rng_(0xa110c0000ULL + tid),
-        tid_(tid) {}
+        tid_(tid) {
+    if (p.size_zipf > 0.0) {
+      classes_ = size_class_ladder(p.alloc_min, p.alloc_max);
+      pick_class_ = cohort::zipf_sampler(classes_.size(), p.size_zipf);
+    }
+  }
 
   // One benchmark operation: recycle the next ring slot, then allocate and
   // stamp a fresh block.  Returns false when the arena is out of memory
@@ -102,8 +127,13 @@ class mmicro_worker {
   bool step(Arena& a) {
     slot& s = slots_[seq_ % slots_.size()];
     if (s.p != nullptr) release(a, s);
-    const std::size_t span = params_.alloc_max - params_.alloc_min + 1;
-    const std::size_t size = params_.alloc_min + rng_.next_range(span);
+    std::size_t size;
+    if (!classes_.empty()) {
+      size = classes_[pick_class_(rng_)];
+    } else {
+      const std::size_t span = params_.alloc_max - params_.alloc_min + 1;
+      size = params_.alloc_min + rng_.next_range(span);
+    }
     void* p = a.allocate(size);
     ++seq_;
     if (p == nullptr) return false;
@@ -153,6 +183,8 @@ class mmicro_worker {
 
   mmicro_params params_;
   std::vector<slot> slots_;
+  std::vector<std::size_t> classes_;       // empty = uniform byte draw
+  cohort::zipf_sampler pick_class_{1, 0};  // rebuilt when classes_ is set
   xorshift rng_;
   std::uint64_t seq_ = 0;
   std::uint64_t tag_mismatches_ = 0;

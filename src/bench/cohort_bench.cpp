@@ -48,6 +48,12 @@ void usage(const char* argv0) {
       "  --reps N          repetitions per lock (default 1)\n"
       "  --clusters N      override cluster count (default: discovered)\n"
       "  --pass-limit N    cohort may-pass-local bound (default 64)\n"
+      "  --fission-limit N   -fp fast-path disengage threshold (default:\n"
+      "                      COHORT_FISSION_LIMIT env, else 8)\n"
+      "  --reengage-drains N -fp re-engage threshold (default:\n"
+      "                      COHORT_REENGAGE_DRAINS env, else 4)\n"
+      "  --net-host H      server address for --smoke (default 127.0.0.1)\n"
+      "  --net-port P      server port for --smoke (required with --smoke)\n"
       "  --no-pin          skip CPU pinning\n"
       "  --json            emit JSON instead of a text summary\n",
       argv0, cohort::bench::workload_names_joined().c_str());
@@ -87,6 +93,9 @@ int main(int argc, char** argv) {
   unsigned reps = 1;
   bool run_all = false;
   bool emit_json = false;
+  bool smoke = false;
+  std::string net_host = "127.0.0.1";
+  unsigned long long net_port = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -147,6 +156,25 @@ int main(int argc, char** argv) {
       cfg.kv_max_items = static_cast<std::size_t>(n);
     } else if (arg == "--numa-place") {
       cfg.numa_place = true;
+    } else if (arg == "--io-threads" && parse_unsigned(next(), n) && n > 0) {
+      cfg.net_io_threads = static_cast<unsigned>(n);
+    } else if (arg == "--net-pin") {
+      cfg.net_pin_io = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--net-host") {
+      net_host = next();
+    } else if (arg == "--net-port" && parse_unsigned(next(), n) &&
+               n <= 65535) {
+      net_port = n;
+    } else if (arg == "--fission-limit" && parse_unsigned(next(), n) &&
+               n > 0) {
+      cfg.fission_limit = static_cast<std::uint32_t>(n);
+    } else if (arg == "--reengage-drains" && parse_unsigned(next(), n) &&
+               n > 0) {
+      cfg.reengage_drains = static_cast<std::uint32_t>(n);
+    } else if (arg == "--size-zipf" && parse_double(next(), d)) {
+      cfg.alloc_size_zipf = d;
     } else if (arg == "--alloc-min" && parse_unsigned(next(), n) && n > 0) {
       cfg.alloc_min = static_cast<std::size_t>(n);
     } else if (arg == "--alloc-max" && parse_unsigned(next(), n) && n > 0) {
@@ -177,6 +205,22 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
     }
+  }
+
+  if (smoke) {
+    // Scripted protocol exchange against an externally started server --
+    // the CI loopback smoke job's client half.
+    if (cfg.workload != "kvnet") {
+      std::fprintf(stderr, "%s: --smoke requires --workload kvnet\n",
+                   argv[0]);
+      return 2;
+    }
+    if (net_port == 0) {
+      std::fprintf(stderr, "%s: --smoke requires --net-port\n", argv[0]);
+      return 2;
+    }
+    return cohort::bench::run_kvnet_smoke(
+        net_host, static_cast<std::uint16_t>(net_port));
   }
 
   if (run_all)

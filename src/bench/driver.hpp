@@ -23,21 +23,46 @@ namespace detail {
 
 using bench_clock = std::chrono::steady_clock;
 
+// The lock_params a bench_config requests (shared by every workload's
+// with_lock_type / make_any_sharded_store call).
+inline reg::lock_params lock_params_of(const bench_config& cfg) {
+  return {.clusters = cfg.clusters,
+          .pass_limit = cfg.pass_limit,
+          .fission_limit = cfg.fission_limit,
+          .reengage_drains = cfg.reengage_drains};
+}
+
 struct alignas(cache_line_size) thread_slot {
   std::atomic<std::uint64_t> ops{0};
   std::atomic<std::uint64_t> timeouts{0};
   std::atomic<bool> pinned{false};
 };
 
+// What a workload's mid-run sampler returns: the summed cohort batching
+// counters of its locks (when they keep any), plus -- for the kv workloads
+// -- each shard's operation cells, so windows[] can carry per-shard
+// hit-rate over time.  Everything here must come from race-free cells
+// (cohort_counters, kv_counters); unsynchronised counters stay
+// quiescent-only.
+struct shard_probe {
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+};
+
+struct probe {
+  bool has_stats = false;           // cohort batching counters available
+  reg::erased_stats stats{};        // summed over the workload's locks
+  std::vector<shard_probe> shards;  // empty for non-sharded workloads
+};
+
 // One mid-run counter sample, taken by the coordinator while the workers
-// run.  Thread op counters are atomics and cohort counters are relaxed
-// single-writer cells (cohort_counters), so sampling is race-free.
+// run.  Thread op counters are atomics and the probe reads relaxed
+// single-writer cells, so sampling is race-free.
 struct window_sample {
   double t_s = 0.0;            // seconds since the start barrier opened
   std::uint64_t ops = 0;       // completed ops, summed over threads
   std::uint64_t timeouts = 0;
-  bool has_stats = false;      // cohort batching counters were available
-  reg::erased_stats stats{};   // summed over the workload's locks
+  probe counters{};
 };
 
 struct window_totals {
@@ -58,14 +83,16 @@ struct window_totals {
 // Bodies run in a do-while, so every worker attempts at least one operation
 // even if the window elapses while it is descheduled.
 //
-// sample_stats() is called by the coordinator at every snapshot point --
-// concurrently with the workers -- and must return the summed cohort
-// batching counters of the workload's locks (nullopt when the lock type
-// keeps none).  Implementations must only touch race-free state: the
-// cohort_counters cells qualify, unsynchronised workload counters do not.
-template <typename MakeBody, typename SampleStats>
+// sample_counters() is called by the coordinator at every snapshot point --
+// concurrently with the workers -- and must return a `probe`: the summed
+// cohort batching counters of the workload's locks (has_stats == false when
+// the lock type keeps none) and, for sharded workloads, the per-shard
+// operation cells.  Implementations must only touch race-free state: the
+// cohort_counters and kv_counters cells qualify, unsynchronised workload
+// counters do not.
+template <typename MakeBody, typename SampleCounters>
 window_totals run_window(const bench_config& cfg, MakeBody&& make_body,
-                         SampleStats&& sample_stats) {
+                         SampleCounters&& sample_counters) {
   const auto& topo = numa::system_topology();
   const unsigned clusters = topo.clusters();
 
@@ -146,11 +173,8 @@ window_totals run_window(const bench_config& cfg, MakeBody&& make_body,
       if (ops_out != nullptr) (*ops_out)[t] = o;
       if (timeouts_out != nullptr) (*timeouts_out)[t] = to;
     }
-    if (auto st = sample_stats()) {
-      s.has_stats = true;
-      s.stats = *st;
-    }
-    w.samples.push_back(s);
+    s.counters = sample_counters();
+    w.samples.push_back(std::move(s));
   };
 
   go.store(true, std::memory_order_release);
@@ -220,13 +244,15 @@ inline void fill_window_result(bench_result& res, const window_totals& w) {
     const double dt = win.t1_s - win.t0_s;
     win.throughput_ops_s =
         dt > 0.0 ? static_cast<double>(win.ops) / dt : 0.0;
-    if (a.has_stats && b.has_stats) {
+    if (a.counters.has_stats && b.counters.has_stats) {
       win.has_cohort = true;
-      win.acquisitions = b.stats.acquisitions - a.stats.acquisitions;
-      win.global_acquires =
-          b.stats.global_acquires - a.stats.global_acquires;
-      win.fast_acquires = b.stats.fast_acquires - a.stats.fast_acquires;
-      win.fissions = b.stats.fissions - a.stats.fissions;
+      win.acquisitions =
+          b.counters.stats.acquisitions - a.counters.stats.acquisitions;
+      win.global_acquires = b.counters.stats.global_acquires -
+                            a.counters.stats.global_acquires;
+      win.fast_acquires =
+          b.counters.stats.fast_acquires - a.counters.stats.fast_acquires;
+      win.fissions = b.counters.stats.fissions - a.counters.stats.fissions;
       // Batch length counts only the slow (cohort) acquisitions a global
       // acquire amortises; fast acquires bypass the global lock entirely.
       const std::uint64_t slow = win.acquisitions - win.fast_acquires;
@@ -235,7 +261,24 @@ inline void fill_window_result(bench_result& res, const window_totals& w) {
                                  static_cast<double>(win.global_acquires)
                            : static_cast<double>(slow);
     }
-    res.windows.push_back(win);
+    // Per-shard hit-rate deltas (kv workloads): both samples must have seen
+    // the same shard set.
+    if (!b.counters.shards.empty() &&
+        a.counters.shards.size() == b.counters.shards.size()) {
+      win.shards.resize(b.counters.shards.size());
+      for (std::size_t s = 0; s < b.counters.shards.size(); ++s) {
+        shard_window& sw = win.shards[s];
+        sw.gets = b.counters.shards[s].gets - a.counters.shards[s].gets;
+        sw.get_hits =
+            b.counters.shards[s].get_hits - a.counters.shards[s].get_hits;
+        // Cells move independently; clamp transient hits > gets.
+        if (sw.get_hits > sw.gets) sw.get_hits = sw.gets;
+        sw.hit_rate = sw.gets > 0 ? static_cast<double>(sw.get_hits) /
+                                        static_cast<double>(sw.gets)
+                                  : 0.0;
+      }
+    }
+    res.windows.push_back(std::move(win));
   }
 }
 

@@ -78,13 +78,15 @@ bench_result run_cs_typed(Lock& lock, const bench_config& cfg) {
   };
   // Mid-run sampler for windows[]: cohort batch counters are relaxed-atomic
   // cells, so this is safe to call while the workers run.
-  auto sample_stats = [&]() -> std::optional<reg::erased_stats> {
-    if constexpr (requires(const Lock& l) { l.stats(); })
-      return reg::erased_stats(lock.stats());
-    else
-      return std::nullopt;
+  auto sample = [&]() -> detail::probe {
+    detail::probe p;
+    if constexpr (requires(const Lock& l) { l.stats(); }) {
+      p.has_stats = true;
+      p.stats = reg::erased_stats(lock.stats());
+    }
+    return p;
   };
-  const auto totals = detail::run_window(cfg, make_body, sample_stats);
+  const auto totals = detail::run_window(cfg, make_body, sample);
 
   detail::fill_window_result(res, totals);
 
@@ -119,7 +121,11 @@ unsigned install_topology(unsigned clusters) {
 bench_result run_cs_bench(const bench_config& cfg) {
   bench_result res;
   const bool known = reg::with_lock_type(
-      cfg.lock_name, {.clusters = cfg.clusters, .pass_limit = cfg.pass_limit},
+      cfg.lock_name,
+      {.clusters = cfg.clusters,
+       .pass_limit = cfg.pass_limit,
+       .fission_limit = cfg.fission_limit,
+       .reengage_drains = cfg.reengage_drains},
       [&](auto factory) {
         auto lock = factory();
         res = run_cs_typed(*lock, cfg);
@@ -159,7 +165,9 @@ json cohort_to_json(const reg::erased_stats& s) {
 }  // namespace
 
 json to_json(const bench_result& r) {
-  const bool kv = r.config.workload == "kv";
+  const bool kv =
+      r.config.workload == "kv" || r.config.workload == "kvnet";
+  const bool kvnet = r.config.workload == "kvnet";
   const bool alloc = r.config.workload == "alloc";
   json rec = json::object();
   rec.set("workload", r.config.workload);
@@ -179,9 +187,14 @@ json to_json(const bench_result& r) {
     rec.set("value_bytes", static_cast<std::uint64_t>(r.config.value_bytes));
     rec.set("zipf_theta", r.config.zipf_theta);
     rec.set("numa_place", r.config.numa_place);
+    if (kvnet) {
+      rec.set("io_threads", r.config.net_io_threads);
+      rec.set("net_pin_io", r.config.net_pin_io);
+    }
   } else if (alloc) {
     rec.set("alloc_min", static_cast<std::uint64_t>(r.config.alloc_min));
     rec.set("alloc_max", static_cast<std::uint64_t>(r.config.alloc_max));
+    rec.set("size_zipf", r.config.alloc_size_zipf);
     rec.set("working_set", static_cast<std::uint64_t>(r.config.working_set));
     rec.set("arena_mb", static_cast<std::uint64_t>(r.config.arena_mb));
     rec.set("arenas", static_cast<std::uint64_t>(r.arena_reports.size()));
@@ -195,6 +208,16 @@ json to_json(const bench_result& r) {
     rec.set("patience_us", r.config.patience_us);
   }
   rec.set("pass_limit", r.config.pass_limit);
+  // The -fp hysteresis knobs in effect (resolved through flag -> env ->
+  // compiled default); meaningful only for -fp locks but recorded uniformly
+  // so sweep records sort without special cases.
+  {
+    const fastpath_policy fpp = reg::effective_fastpath(
+        {.fission_limit = r.config.fission_limit,
+         .reengage_drains = r.config.reengage_drains});
+    rec.set("fission_limit", fpp.fission_limit);
+    rec.set("reengage_drains", fpp.reengage_drains);
+  }
   rec.set("total_ops", r.total_ops);
   rec.set("whole_run_ops", r.whole_run_ops);
   rec.set("throughput_ops_s", r.throughput_ops_s);
@@ -207,9 +230,17 @@ json to_json(const bench_result& r) {
     kvs.set("gets", r.kv.gets);
     kvs.set("get_hits", r.kv.get_hits);
     kvs.set("sets", r.kv.sets);
+    kvs.set("deletes", r.kv.deletes);
     kvs.set("evictions", r.kv.evictions);
     kvs.set("final_size", static_cast<std::uint64_t>(r.kv_final_size));
     rec.set("kv", std::move(kvs));
+  }
+  if (kvnet) {
+    json net = json::object();
+    net.set("connections", r.net_connections);
+    net.set("commands", r.net_commands);
+    net.set("protocol_errors", r.net_protocol_errors);
+    rec.set("net", std::move(net));
   }
   json ops = json::array();
   for (std::uint64_t v : r.per_thread_ops) ops.push(v);
@@ -225,6 +256,7 @@ json to_json(const bench_result& r) {
       sh.set("gets", sr.kv.gets);
       sh.set("get_hits", sr.kv.get_hits);
       sh.set("sets", sr.kv.sets);
+      sh.set("deletes", sr.kv.deletes);
       sh.set("evictions", sr.kv.evictions);
       if (sr.has_cohort) sh.set("cohort", cohort_to_json(sr.cohort));
       per_shard.push(std::move(sh));
@@ -285,6 +317,18 @@ json to_json(const bench_result& r) {
       cj.set("mean_batch", w.mean_batch);
       wj.set("cohort", std::move(cj));
     }
+    // Per-shard hit-rate over time (kv workloads): one entry per shard.
+    if (!w.shards.empty()) {
+      json per_shard = json::array();
+      for (const shard_window& sw : w.shards) {
+        json sj = json::object();
+        sj.set("gets", sw.gets);
+        sj.set("get_hits", sw.get_hits);
+        sj.set("hit_rate", sw.hit_rate);
+        per_shard.push(std::move(sj));
+      }
+      wj.set("per_shard", std::move(per_shard));
+    }
     windows.push(std::move(wj));
   }
   rec.set("windows", std::move(windows));
@@ -303,13 +347,14 @@ std::string to_text(const bench_result& r) {
         r.has_cohort_stats ? r.cohort.avg_batch() : 0.0,
         r.timeouts > 0 ? "  (failed allocs)" : "",
         r.mutual_exclusion_ok ? "" : "  [ARENA AUDIT FAILED]");
-  } else if (r.config.workload == "kv") {
+  } else if (r.config.workload == "kv" || r.config.workload == "kvnet") {
     std::snprintf(
         buf, sizeof(buf),
-        "kv %-12s threads=%-3u shards=%-3zu %12.0f ops/s  hit=%5.1f%%  "
+        "%-5s %-12s threads=%-3u shards=%-3zu %12.0f ops/s  hit=%5.1f%%  "
         "cv=%5.1f%%  batch=%6.2f%s",
-        r.config.lock_name.c_str(), r.config.threads, r.config.shards,
-        r.throughput_ops_s, 100.0 * r.hit_rate, 100.0 * r.fairness_cv,
+        r.config.workload.c_str(), r.config.lock_name.c_str(),
+        r.config.threads, r.config.shards, r.throughput_ops_s,
+        100.0 * r.hit_rate, 100.0 * r.fairness_cv,
         r.has_cohort_stats ? r.cohort.avg_batch() : 0.0,
         r.mutual_exclusion_ok ? "" : "  [COUNTER AUDIT FAILED]");
   } else {

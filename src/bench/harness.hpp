@@ -33,6 +33,11 @@ struct bench_config {
   double warmup_s = 0.1;     // settle time before the window opens
   unsigned clusters = 0;     // 0 = discovered topology
   std::uint64_t pass_limit = 64;  // cohort may-pass-local bound
+  // Fast-path hysteresis knobs for the -fp locks (cohort/fastpath.hpp);
+  // 0 = resolve through the registry default chain (COHORT_FISSION_LIMIT /
+  // COHORT_REENGAGE_DRAINS env, then the compiled 8/4).
+  std::uint32_t fission_limit = 0;
+  std::uint32_t reengage_drains = 0;
   bool pin = true;           // pin threads to their cluster's CPUs
   // Telemetry windows over the measured interval: the coordinator samples
   // the op and cohort-batch counters snap_windows times per measured run
@@ -62,11 +67,21 @@ struct bench_config {
   // its home cluster, and give the allocator one arena per cluster.
   bool numa_place = false;
 
+  // "kvnet" workload parameters (kv parameters above apply too): the same
+  // mix, but served over loopback sockets by the in-process net front-end.
+  unsigned net_io_threads = 2;  // server event-loop threads
+  bool net_pin_io = false;      // pin server workers to clusters
+
   // "alloc" workload parameters (mmicro's allocate/write/free loop).
   std::size_t alloc_min = 64;     // smallest request size, bytes
   std::size_t alloc_max = 256;    // largest request size, bytes
   std::size_t working_set = 64;   // live blocks each thread cycles through
   std::size_t arena_mb = 64;      // capacity per arena, MiB
+  // Size-class skew: > 0 draws sizes from a geometric ladder of classes
+  // over [alloc_min, alloc_max] with Zipf(theta) weights, smallest class
+  // hottest (real allocator traces are small-heavy).  0 keeps the uniform
+  // byte draw.
+  double alloc_size_zipf = 0.0;
 };
 
 // Post-run snapshot of one shard ("kv" workload): its kv counters plus its
@@ -88,6 +103,15 @@ struct arena_report {
   bool heap_ok = false;        // boundary tags + free-tree invariants held
   bool has_cohort = false;
   reg::erased_stats cohort{};
+};
+
+// Per-shard slice of one telemetry window ("kv"/"kvnet" workloads): the
+// shard's get/hit deltas over the interval, sampled live from the shard's
+// kv_counters cells.
+struct shard_window {
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  double hit_rate = 0.0;
 };
 
 // One telemetry window: the interval between two mid-run counter samples
@@ -117,6 +141,8 @@ struct bench_window {
   // When the window saw acquisitions but no migration, the batch outlasted
   // the window and the count is a lower bound.
   double mean_batch = 0.0;
+  // Per-shard hit-rate over this window (kv workloads; empty otherwise).
+  std::vector<shard_window> shards;
 };
 
 struct bench_result {
@@ -173,6 +199,13 @@ struct bench_result {
   cohortalloc::arena_stats alloc{};     // summed over all arenas
   std::uint64_t tag_mismatches = 0;     // double-handout detections
   std::vector<arena_report> arena_reports;
+
+  // "kvnet" workload outputs: server-side counters at shutdown.  The audit
+  // additionally requires protocol_errors == 0 and one answered command
+  // per client op.
+  std::uint64_t net_connections = 0;
+  std::uint64_t net_commands = 0;
+  std::uint64_t net_protocol_errors = 0;
 };
 
 // Installs a topology honouring cfg.clusters: the discovered topology

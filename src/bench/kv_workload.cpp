@@ -1,46 +1,21 @@
-// The "kv" workload: a memaslap-style get/set mix against the sharded kv
+// The "kv" workload: the memaslap-style get/set mix against the sharded kv
 // engine (DESIGN.md §3-4), measured under the shared windowed skeleton.
-// Shard count, lock name, get ratio, keyspace and NUMA placement are all
-// runtime axes, so one binary sweeps the full lock x shards matrix that the
-// Table 1 experiment only sampled at shards == 1.
+// The mix itself and every operation live in the shared command layer
+// (kvstore/command.hpp) -- the same implementation behind
+// bench/real_kvstore.cpp and the network server -- so this file only binds
+// it to the driver.  Shard count, lock name, get ratio, keyspace and NUMA
+// placement are all runtime axes.
 #include <stdexcept>
-#include <thread>
 
 #include "bench/driver.hpp"
+#include "bench/kv_common.hpp"
 #include "bench/workload.hpp"
-#include "kvstore/sharded_store.hpp"
+#include "kvstore/command.hpp"
 #include "util/rng.hpp"
-#include "util/zipf.hpp"
 
 namespace cohort::bench {
 
 namespace {
-
-// Prefill every key so gets can hit.  With numa_place each shard's items
-// (the LRU nodes and value payloads) are inserted -- first-touched -- from a
-// thread pinned to the shard's home cluster, completing the placement the
-// store constructor started with the bucket tables.
-template <typename Lock>
-void prefill(kvstore::sharded_store<Lock>& store,
-             const std::vector<std::string>& keys, const std::string& value,
-             bool numa_place) {
-  if (!numa_place) {
-    auto h = store.make_handle();
-    for (const auto& k : keys) store.set(h, k, value);
-    return;
-  }
-  // One partition pass, then one pinned insertion thread per shard.
-  std::vector<std::vector<const std::string*>> by_shard(store.shard_count());
-  for (const auto& k : keys) by_shard[store.shard_of(k)].push_back(&k);
-  const auto& topo = numa::system_topology();
-  for (std::size_t s = 0; s < store.shard_count(); ++s) {
-    std::thread([&, s] {
-      numa::pin_thread_to_cluster(topo, store.home_cluster(s));
-      auto h = store.make_handle();
-      for (const std::string* k : by_shard[s]) store.set(h, *k, value);
-    }).join();
-  }
-}
 
 template <typename Lock>
 void run_kv_typed(kvstore::sharded_store<Lock>& store, const bench_config& cfg,
@@ -49,89 +24,33 @@ void run_kv_typed(kvstore::sharded_store<Lock>& store, const bench_config& cfg,
       kvstore::make_keyspace(cfg.keyspace != 0 ? cfg.keyspace : 1);
   const std::string value(cfg.value_bytes, 'v');
 
-  prefill(store, keys, value, cfg.numa_place);
+  kvstore::prefill_keyspace(store, keys, value, cfg.numa_place);
   const std::uint64_t prefill_sets = store.stats().sets;
 
   // Key skew: Zipf(theta) over the keyspace, hottest key first; theta 0 is
-  // uniform.  One shared read-only CDF table; each worker draws through its
-  // own RNG.  Skew concentrates traffic on the hot keys' shard, which is
-  // the realistic stress for fast-path disengagement on that shard's lock.
-  const zipf_sampler pick_key(keys.size(), cfg.zipf_theta);
+  // uniform.  The mix_workload holds the one shared read-only CDF table;
+  // each worker draws through its own RNG.  Skew concentrates traffic on
+  // the hot keys' shard, which is the realistic stress for fast-path
+  // disengagement on that shard's lock.
+  const kvstore::mix_workload mix(keys, cfg.get_ratio, cfg.zipf_theta, value);
 
   auto make_body = [&](unsigned tid) {
-    return [&store, &keys, &value, &cfg, &pick_key, h = store.make_handle(),
+    return [&mix, ex = kvstore::command_executor(store),
             rng = xorshift(0x517ead0000ULL + tid)]() mutable {
-      const auto& key = keys[pick_key(rng)];
-      if (rng.next_double() < cfg.get_ratio)
-        (void)store.get(h, key);
-      else
-        store.set(h, key, value);
-      return true;
+      return mix.step(ex, rng) != kvstore::cmd_status::error;
     };
   };
-  // Mid-run sampler for windows[]: sums the shard locks' batching counters.
-  // Safe while the workers run -- the counters are relaxed-atomic cells --
-  // unlike the unsynchronised kv counters, which stay quiescent-only.
-  auto sample_stats = [&]() -> std::optional<reg::erased_stats> {
-    reg::erased_stats sum{};
-    bool any = false;
-    for (std::size_t s = 0; s < store.shard_count(); ++s) {
-      if (auto ls = store.lock_stats(s)) {
-        sum += *ls;
-        any = true;
-      }
-    }
-    if (!any) return std::nullopt;
-    return sum;
-  };
-  const auto totals = detail::run_window(cfg, make_body, sample_stats);
+  auto sample = [&] { return detail::sample_kv_probe(store); };
+  const auto totals = detail::run_window(cfg, make_body, sample);
 
   detail::fill_window_result(res, totals);
-
-  // Quiescent aggregation: the workers are joined, so the unsynchronised
-  // per-shard counters are safe to read and sum.
-  const kvstore::kv_stats agg = store.stats();
-  res.kv = agg;
-  res.kv_final_size = store.size();
-  res.hit_rate = agg.gets != 0 ? static_cast<double>(agg.get_hits) /
-                                     static_cast<double>(agg.gets)
-                               : 0.0;
-
-  // Counter-coherence audit, the kv analogue of the cs shared-line audit:
-  // each completed operation bumps exactly one kv counter under its shard
-  // lock, so a lock that admits two threads at once loses updates here.
-  res.mutual_exclusion_ok =
-      agg.gets + agg.sets == res.whole_run_ops + prefill_sets &&
-      agg.get_hits <= agg.gets;
-
-  res.shard_reports.resize(store.shard_count());
-  reg::erased_stats sum{};
-  bool any_cohort = false;
-  for (std::size_t s = 0; s < store.shard_count(); ++s) {
-    shard_report& sr = res.shard_reports[s];
-    sr.home_cluster = store.home_cluster(s);
-    sr.items = store.shard(s).size();
-    sr.kv = store.shard(s).stats();
-    if (auto ls = store.lock_stats(s)) {
-      sr.has_cohort = true;
-      sr.cohort = *ls;
-      sum += *ls;
-      any_cohort = true;
-    }
-  }
-  res.has_cohort_stats = any_cohort;
-  res.cohort = sum;
+  detail::fill_kv_result(store, res, prefill_sets);
 }
 
 }  // namespace
 
 bench_result run_kv_bench(const bench_config& cfg) {
-  if (cfg.get_ratio < 0.0 || cfg.get_ratio > 1.0)
-    throw std::invalid_argument("bench: get ratio must be in [0, 1]");
-  if (cfg.shards == 0)
-    throw std::invalid_argument("bench: shard count must be positive");
-  if (cfg.zipf_theta < 0.0)
-    throw std::invalid_argument("bench: zipf theta must be >= 0");
+  detail::validate_kv_config(cfg);
 
   bench_result res;
   res.config = cfg;
@@ -142,8 +61,7 @@ bench_result run_kv_bench(const bench_config& cfg) {
                                 .max_items = cfg.kv_max_items,
                                 .numa_place = cfg.numa_place};
   const bool known = kvstore::with_store(
-      cfg.lock_name, kcfg,
-      {.clusters = cfg.clusters, .pass_limit = cfg.pass_limit},
+      cfg.lock_name, kcfg, detail::lock_params_of(cfg),
       [&](auto& store) { run_kv_typed(store, cfg, res); });
   if (!known)
     throw std::invalid_argument("bench: unknown lock name '" + cfg.lock_name +

@@ -1,0 +1,170 @@
+// The "kvnet" workload: the same memaslap-style mix as "kv", but served --
+// every operation travels client -> loopback socket -> epoll front-end ->
+// command layer -> sharded store and back (DESIGN.md §6).  The server runs
+// in-process (its store's counter cells feed the same windows[] telemetry
+// as the in-process workload), the clients are the benchmark's worker
+// threads, one blocking connection each, so `threads` is the offered
+// connection concurrency and `--io-threads` the server-side event-loop
+// parallelism.  This is the repo's end-to-end reproduction of the paper's
+// §4.2 memcached experiment: real arrival patterns, lock chosen by registry
+// name.
+//
+// run_kvnet_smoke() is the scripted protocol exchange behind
+// `cohort_bench --workload kvnet --smoke`: it drives an *externally*
+// started server binary (CI's loopback smoke job) through
+// get/set/delete/stats plus the error paths, and reports pass/fail.
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "bench/driver.hpp"
+#include "bench/kv_common.hpp"
+#include "bench/workload.hpp"
+#include "kvstore/command.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "util/rng.hpp"
+
+namespace cohort::bench {
+
+bench_result run_kvnet_bench(const bench_config& cfg) {
+  detail::validate_kv_config(cfg);
+
+  bench_result res;
+  res.config = cfg;
+  res.clusters_used = numa::system_topology().clusters();
+
+  const kvstore::kv_config kcfg{.shards = cfg.shards,
+                                .buckets = cfg.kv_buckets,
+                                .max_items = cfg.kv_max_items,
+                                .numa_place = cfg.numa_place};
+  auto store = kvstore::make_any_sharded_store(cfg.lock_name, kcfg,
+                                               detail::lock_params_of(cfg));
+  if (store == nullptr)
+    throw std::invalid_argument("bench: unknown lock name '" + cfg.lock_name +
+                                "'");
+
+  const auto keys =
+      kvstore::make_keyspace(cfg.keyspace != 0 ? cfg.keyspace : 1);
+  const std::string value(cfg.value_bytes, 'v');
+  kvstore::prefill_keyspace(*store, keys, value, cfg.numa_place);
+  const std::uint64_t prefill_sets = store->stats().sets;
+
+  net::server_config scfg;
+  scfg.host = "127.0.0.1";
+  scfg.port = 0;  // ephemeral
+  scfg.io_threads = cfg.net_io_threads;
+  scfg.pin_io_threads = cfg.net_pin_io;
+  net::kv_server server(*store, scfg);
+  std::string err;
+  if (!server.start(&err))
+    throw std::runtime_error("bench: kvnet server failed to start: " + err);
+
+  const kvstore::mix_workload mix(keys, cfg.get_ratio, cfg.zipf_theta, value);
+
+  auto make_body = [&](unsigned tid) {
+    // One blocking connection per worker, opened on the worker's own
+    // thread.  A connect failure yields a body that only reports failed
+    // ops, so the run completes and the audit flags it.
+    auto client = std::make_unique<net::memcache_client>();
+    (void)client->connect("127.0.0.1", server.port());
+    return [&mix, cl = std::move(client),
+            rng = xorshift(0x6e37517eadULL + tid)]() mutable {
+      if (!cl->connected()) return false;
+      return mix.step(*cl, rng) != kvstore::cmd_status::error;
+    };
+  };
+  // The served path samples the same store cells as the in-process one.
+  auto sample = [&] { return detail::sample_kv_probe(*store); };
+  const auto totals = detail::run_window(cfg, make_body, sample);
+
+  // Workers are joined, every round trip completed: the server is idle.
+  server.stop();
+  const net::server_counters sc = server.counters();
+
+  detail::fill_window_result(res, totals);
+  detail::fill_kv_result(*store, res, prefill_sets);
+  res.net_connections = sc.connections;
+  res.net_commands = sc.commands;
+  res.net_protocol_errors = sc.protocol_errors;
+  // A clean run answers exactly one command per client op, with no
+  // protocol errors; fold that into the audit.
+  res.mutual_exclusion_ok =
+      res.mutual_exclusion_ok && sc.protocol_errors == 0 &&
+      sc.commands == res.whole_run_ops + res.whole_run_timeouts;
+  return res;
+}
+
+namespace {
+
+bool check(bool ok, const char* what, const std::string& info = "") {
+  std::printf("%s %s%s%s\n", ok ? "ok  " : "FAIL", what,
+              info.empty() ? "" : ": ", info.c_str());
+  return ok;
+}
+
+}  // namespace
+
+int run_kvnet_smoke(const std::string& host, std::uint16_t port) {
+  using kvstore::cmd_status;
+  net::memcache_client cl;
+  bool ok = true;
+
+  if (!check(cl.connect(host, port), "connect", cl.last_error())) return 1;
+
+  std::string ver;
+  ok &= check(cl.version(&ver), "version", ver);
+
+  ok &= check(cl.set("smoke:a", "alpha") == cmd_status::stored, "set smoke:a");
+  std::string got;
+  ok &= check(cl.get("smoke:a", &got) == cmd_status::hit && got == "alpha",
+              "get smoke:a", got);
+  ok &= check(cl.get("smoke:absent", nullptr) == cmd_status::miss,
+              "get smoke:absent (miss)");
+  ok &= check(cl.del("smoke:a") == cmd_status::deleted, "delete smoke:a");
+  ok &= check(cl.del("smoke:a") == cmd_status::not_found,
+              "delete smoke:a again (not_found)");
+
+  // Pipelined burst: three requests in one write, replies in order.
+  ok &= check(cl.send_raw("set smoke:p 0 0 2\r\nhi\r\n"
+                          "get smoke:p\r\n"
+                          "delete smoke:p\r\n"),
+              "pipelined send");
+  std::string line;
+  ok &= check(cl.read_line(&line) && line == "STORED", "pipelined STORED",
+              line);
+  ok &= check(cl.read_line(&line) && line == "VALUE smoke:p 0 2",
+              "pipelined VALUE", line);
+  std::string data;
+  ok &= check(cl.read_exact(4, &data) && data == "hi\r\n", "pipelined data");
+  ok &= check(cl.read_line(&line) && line == "END", "pipelined END", line);
+  ok &= check(cl.read_line(&line) && line == "DELETED", "pipelined DELETED",
+              line);
+
+  // Error paths: unknown command, malformed set, oversized value.
+  ok &= check(cl.send_raw("bogus\r\n") && cl.read_line(&line) &&
+                  line == "ERROR",
+              "unknown command -> ERROR", line);
+  ok &= check(cl.send_raw("set nokey 0 0 notanumber\r\n") &&
+                  cl.read_line(&line) && line.rfind("CLIENT_ERROR", 0) == 0,
+              "malformed set -> CLIENT_ERROR", line);
+  const std::string big(8 << 20, 'x');  // over any sane --max-value-bytes
+  ok &= check(cl.set("smoke:big", big) == cmd_status::too_large,
+              "oversized set -> SERVER_ERROR");
+  ok &= check(cl.get("smoke:big", nullptr) == cmd_status::miss,
+              "oversized value not stored");
+
+  std::vector<std::pair<std::string, std::string>> st;
+  const bool stats_ok = cl.stats(&st) && !st.empty();
+  ok &= check(stats_ok, "stats", std::to_string(st.size()) + " fields");
+  bool saw_items = false;
+  for (const auto& [k, v] : st)
+    if (k == "curr_items") saw_items = true;
+  ok &= check(saw_items, "stats carries curr_items");
+
+  cl.quit();
+  std::printf("%s\n", ok ? "kvnet smoke PASSED" : "kvnet smoke FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace cohort::bench

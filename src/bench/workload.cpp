@@ -19,7 +19,8 @@ const std::vector<workload_info>& all_workloads() {
       {"kv",
        "get/set mix against the sharded kv engine (Table 1)",
        "each op bumps exactly one kv counter under its shard lock; at "
-       "quiescence gets + sets equal whole-run ops plus prefill sets",
+       "quiescence gets + sets + deletes equal whole-run ops plus prefill "
+       "sets",
        {{"--shards N", "independent shards (default 1)"},
         {"--get-ratio G", "fraction of gets, 0..1 (default 0.9)"},
         {"--zipf T", "key-skew Zipf exponent, hot keys first (default 0 = "
@@ -30,6 +31,24 @@ const std::vector<workload_info>& all_workloads() {
         {"--max-items N", "total eviction budget (default 0 = off)"},
         {"--numa-place", "first-touch shards on their home cluster"}},
        &run_kv_bench},
+      {"kvnet",
+       "the kv mix served over loopback sockets by the epoll front-end "
+       "(§4.2 end to end)",
+       "the kv counter identity, plus: the server answered exactly one "
+       "command per client op with zero protocol errors",
+       {{"--shards N", "independent shards (default 1)"},
+        {"--get-ratio G", "fraction of gets, 0..1 (default 0.9)"},
+        {"--zipf T", "key-skew Zipf exponent (default 0 = uniform)"},
+        {"--keyspace K", "distinct keys, prefilled (default 10000)"},
+        {"--value-bytes N", "value payload size (default 64)"},
+        {"--buckets N", "hash buckets per shard (default 1024)"},
+        {"--max-items N", "total eviction budget (default 0 = off)"},
+        {"--numa-place", "first-touch shards on their home cluster"},
+        {"--io-threads N", "server event-loop threads (default 2)"},
+        {"--net-pin", "pin server io threads to clusters"},
+        {"--smoke", "scripted protocol exchange against --net-host/"
+                    "--net-port instead of a benchmark run"}},
+       &run_kvnet_bench},
       {"alloc",
        "mmicro allocate/write/free loop on the splay-tree arena (Table 2)",
        "after the drain every arena is one coalesced free chunk with zero "
@@ -37,6 +56,9 @@ const std::vector<workload_info>& all_workloads() {
        "prove no block was handed out twice",
        {{"--alloc-min N", "smallest request size in bytes (default 64)"},
         {"--alloc-max N", "largest request size in bytes (default 256)"},
+        {"--size-zipf T", "size-class skew: Zipf(T) over a geometric size "
+                          "ladder, smallest class hottest (default 0 = "
+                          "uniform byte draw)"},
         {"--working-set N",
          "live blocks each thread cycles through (default 64)"},
         {"--arena-mb N", "arena capacity in MiB (default 64)"},

@@ -7,13 +7,17 @@
 // enumerate this registry instead of hard-coding workload strings.
 //
 // The registered workloads are the paper's three evaluation applications
-// (DESIGN.md §4):
+// (DESIGN.md §4) plus the served variant of the memcached one (§6):
 //
 //   "cs"    -- the critical-section microbenchmark (Figures 2/4/5/6)
 //   "kv"    -- get/set mix against the sharded kv engine (Table 1)
+//   "kvnet" -- the same mix served over loopback sockets by the epoll
+//              front-end (the paper's §4.2 experiment end to end)
 //   "alloc" -- mmicro's allocate/write/free loop on the splay-tree arena
 //              (Table 2)
 #pragma once
+
+#include <cstdint>
 
 #include <string>
 #include <vector>
@@ -48,11 +52,18 @@ bool is_workload_name(const std::string& name);
 std::string workload_names_joined();
 
 // The entry points behind the descriptors, one translation unit each
-// (harness.cpp, kv_workload.cpp, alloc_workload.cpp).  Call run_bench()
-// rather than these directly: it validates the names and installs the
-// topology first.
+// (harness.cpp, kv_workload.cpp, kvnet_workload.cpp, alloc_workload.cpp).
+// Call run_bench() rather than these directly: it validates the names and
+// installs the topology first.
 bench_result run_cs_bench(const bench_config& cfg);
 bench_result run_kv_bench(const bench_config& cfg);
+bench_result run_kvnet_bench(const bench_config& cfg);
 bench_result run_alloc_bench(const bench_config& cfg);
+
+// Scripted protocol exchange against an externally started server
+// (`cohort_bench --workload kvnet --smoke`): get/set/delete/stats plus the
+// pipelining and error paths, pass/fail per check.  Returns a process exit
+// code (0 = all passed).
+int run_kvnet_smoke(const std::string& host, std::uint16_t port);
 
 }  // namespace cohort::bench

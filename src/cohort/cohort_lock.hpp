@@ -14,6 +14,7 @@
 #include "cohort/core.hpp"
 #include "numa/topology.hpp"
 #include "util/align.hpp"
+#include "util/stat_cell.hpp"
 
 namespace cohort {
 
@@ -67,29 +68,9 @@ struct cohort_stats {
   }
 };
 
-// Single-writer counter cell: only the current lock holder increments it
-// (the lock orders the writers), while benchmark coordinators may sample it
-// concurrently.  store(load + 1) keeps read-modify-write instructions off
-// the release path; relaxed ordering is enough because samplers tolerate
-// slightly stale values.
-class stat_cell {
- public:
-  void operator++() {
-    v_.store(v_.load(std::memory_order_relaxed) + 1,
-             std::memory_order_relaxed);
-  }
-  void operator--() {
-    v_.store(v_.load(std::memory_order_relaxed) - 1,
-             std::memory_order_relaxed);
-  }
-  std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
-  void reset() { v_.store(0, std::memory_order_relaxed); }
-
- private:
-  std::atomic<std::uint64_t> v_{0};
-};
-
-// The live per-cluster counters behind cohort_stats.  Aligned to the
+// The live per-cluster counters behind cohort_stats.  stat_cell
+// (util/stat_cell.hpp) is the single-writer relaxed-atomic cell: only the
+// current lock holder increments, coordinators sample concurrently.  Aligned to the
 // destructive-interference size so a cluster's stat cells never share a
 // line with the hot lock state (or another cluster's cells) they sit next
 // to inside a slot: the benchmark coordinator reads these concurrently with

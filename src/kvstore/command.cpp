@@ -1,0 +1,19 @@
+#include "kvstore/command.hpp"
+
+namespace kvstore {
+
+const char* status_name(cmd_status s) noexcept {
+  switch (s) {
+    case cmd_status::hit: return "hit";
+    case cmd_status::miss: return "miss";
+    case cmd_status::stored: return "stored";
+    case cmd_status::too_large: return "too_large";
+    case cmd_status::deleted: return "deleted";
+    case cmd_status::not_found: return "not_found";
+    case cmd_status::ok: return "ok";
+    case cmd_status::error: return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace kvstore

@@ -126,19 +126,31 @@ class sharded_store {
     return s.core.erase(key, hash);
   }
 
+  // Drop every resident item, one shard lock at a time (the command layer's
+  // flush).  Not atomic across shards: concurrent sets may repopulate shards
+  // already flushed, which matches memcached's flush_all semantics closely
+  // enough for the protocol subset.
+  void flush(handle& h) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      guard g(*shards_[s]->lock, h.ctx_[s]);
+      shards_[s]->core.clear();
+    }
+  }
+
   std::size_t shard_count() const noexcept { return shards_.size(); }
   unsigned home_cluster(std::size_t s) const { return shards_[s]->home_cluster; }
   std::size_t shard_of(const std::string& key) const {
     return shard_index(fnv1a64(key));
   }
 
-  // ---- quiescent aggregation ------------------------------------------------
+  // ---- counter aggregation --------------------------------------------------
   //
-  // Deliberately lock-free reads: sizes and counters are mutated under the
-  // shard locks, so these are only meaningful when no thread is inside an
-  // operation -- end of a benchmark window, server shutdown, test join.  (The
-  // old kv_store took the cache lock here with a throwaway context, implying a
-  // thread-safe live read it could not actually deliver for SMR-style locks.)
+  // Lock-free reads over the shards' single-writer relaxed-atomic cells
+  // (util/stat_cell.hpp): safe to *sample* while operations run -- the
+  // windows[] per-shard telemetry and the server's live `stats` command do
+  // -- though cross-counter identities (gets == hits + misses per op count)
+  // are exact only at quiescence.  The item *data* (buckets, LRU) remains
+  // reachable only under the shard locks.
 
   std::size_t size() const {
     std::size_t total = 0;

@@ -1,6 +1,32 @@
 #include "locks/registry.hpp"
 
+#include <cstdlib>
+
 namespace cohort::reg {
+
+namespace {
+
+std::uint32_t env_u32(const char* name) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0') return 0;
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+fastpath_policy effective_fastpath(const lock_params& lp) {
+  fastpath_policy fp;  // compiled defaults
+  if (const std::uint32_t v = env_u32("COHORT_FISSION_LIMIT"); v != 0)
+    fp.fission_limit = v;
+  if (const std::uint32_t v = env_u32("COHORT_REENGAGE_DRAINS"); v != 0)
+    fp.reengage_drains = v;
+  if (lp.fission_limit != 0) fp.fission_limit = lp.fission_limit;
+  if (lp.reengage_drains != 0) fp.reengage_drains = lp.reengage_drains;
+  return fp;
+}
 
 const std::vector<std::string>& all_lock_names() {
   static const std::vector<std::string> names = {

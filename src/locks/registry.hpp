@@ -30,7 +30,20 @@ namespace cohort::reg {
 struct lock_params {
   unsigned clusters = 0;           // 0 = ask numa::system_topology()
   std::uint64_t pass_limit = 64;   // cohort may-pass-local bound (§3.7)
+  // Fast-path hysteresis for the -fp locks (cohort/fastpath.hpp).  0 means
+  // "default": the COHORT_FISSION_LIMIT / COHORT_REENGAGE_DRAINS
+  // environment variables when set (so long-lived consumers like the
+  // server tune without new flags), else the compiled 8/4.  A literal 0 is
+  // not reachable -- disengaging after zero failures is the same machine
+  // as limit 1.
+  std::uint32_t fission_limit = 0;
+  std::uint32_t reengage_drains = 0;
 };
+
+// The fastpath_policy the -fp registry entries will be constructed with,
+// after the default chain above resolves.  Exposed so records (JSON) can
+// report the effective values rather than the request.
+fastpath_policy effective_fastpath(const lock_params& lp);
 
 namespace detail {
 
@@ -67,14 +80,14 @@ inline unsigned effective_clusters(const lock_params& lp) {
   X("C-PARK-MCS", c_park_mcs_lock, (pp, k))        \
   X("A-C-BO-BO", a_c_bo_bo_lock, (pp, k))          \
   X("A-C-BO-CLH", a_c_bo_clh_lock, (pp, k))        \
-  X("C-BO-BO-fp", c_bo_bo_fp_lock, (pp, k))        \
-  X("C-TKT-TKT-fp", c_tkt_tkt_fp_lock, (pp, k))    \
-  X("C-BO-MCS-fp", c_bo_mcs_fp_lock, (pp, k))      \
-  X("C-TKT-MCS-fp", c_tkt_mcs_fp_lock, (pp, k))    \
-  X("C-MCS-MCS-fp", c_mcs_mcs_fp_lock, (pp, k))    \
-  X("C-PARK-MCS-fp", c_park_mcs_fp_lock, (pp, k))  \
-  X("A-C-BO-BO-fp", a_c_bo_bo_fp_lock, (pp, k))    \
-  X("A-C-BO-CLH-fp", a_c_bo_clh_fp_lock, (pp, k))
+  X("C-BO-BO-fp", c_bo_bo_fp_lock, (pp, k, fpp))        \
+  X("C-TKT-TKT-fp", c_tkt_tkt_fp_lock, (pp, k, fpp))    \
+  X("C-BO-MCS-fp", c_bo_mcs_fp_lock, (pp, k, fpp))      \
+  X("C-TKT-MCS-fp", c_tkt_mcs_fp_lock, (pp, k, fpp))    \
+  X("C-MCS-MCS-fp", c_mcs_mcs_fp_lock, (pp, k, fpp))    \
+  X("C-PARK-MCS-fp", c_park_mcs_fp_lock, (pp, k, fpp))  \
+  X("A-C-BO-BO-fp", a_c_bo_bo_fp_lock, (pp, k, fpp))    \
+  X("A-C-BO-CLH-fp", a_c_bo_clh_fp_lock, (pp, k, fpp))
 
 // Invokes fn with a zero-argument factory for the named lock type.  Returns
 // false for unknown names.  fn must be a generic callable (it is
@@ -83,8 +96,10 @@ template <typename Fn>
 bool with_lock_type(const std::string& name, const lock_params& lp, Fn&& fn) {
   const unsigned k = detail::effective_clusters(lp);
   const pass_policy pp{lp.pass_limit};
+  const fastpath_policy fpp = effective_fastpath(lp);
   (void)k;
   (void)pp;
+  (void)fpp;
 #define COHORT_REGISTRY_DISPATCH(NAME, TYPE, ARGS) \
   if (name == NAME) {                              \
     fn([=] { return std::make_unique<TYPE> ARGS; }); \

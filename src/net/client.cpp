@@ -1,0 +1,206 @@
+#include "net/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cohort::net {
+
+using kvstore::cmd_status;
+
+bool memcache_client::connect(const std::string& host, std::uint16_t port) {
+  fd_ = connect_tcp(host, port, &error_);
+  rbuf_.clear();
+  rpos_ = 0;
+  return fd_.valid();
+}
+
+bool memcache_client::send_raw(const std::string& bytes) {
+  if (!fd_.valid()) {
+    error_ = "not connected";
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a dropped server must surface as EPIPE, not SIGPIPE.
+    const ssize_t n = ::send(fd_.get(), bytes.data() + off,
+                             bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("send: ") + std::strerror(errno);
+      fd_.reset();
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void memcache_client::shutdown_write() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
+}
+
+bool memcache_client::fill() {
+  char buf[16384];
+  ssize_t n;
+  do {
+    n = ::read(fd_.get(), buf, sizeof(buf));
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    error_ = std::string("read: ") + std::strerror(errno);
+    fd_.reset();
+    return false;
+  }
+  if (n == 0) {
+    error_ = "server closed the connection";
+    fd_.reset();
+    return false;
+  }
+  rbuf_.append(buf, static_cast<std::size_t>(n));
+  return true;
+}
+
+bool memcache_client::read_line(std::string* line) {
+  if (!fd_.valid()) {
+    error_ = "not connected";
+    return false;
+  }
+  for (;;) {
+    const std::size_t eol = rbuf_.find("\r\n", rpos_);
+    if (eol != std::string::npos) {
+      line->assign(rbuf_, rpos_, eol - rpos_);
+      rpos_ = eol + 2;
+      if (rpos_ == rbuf_.size()) {
+        rbuf_.clear();
+        rpos_ = 0;
+      }
+      return true;
+    }
+    if (!fill()) return false;
+  }
+}
+
+bool memcache_client::read_exact(std::size_t n, std::string* out) {
+  if (!fd_.valid()) {
+    error_ = "not connected";
+    return false;
+  }
+  while (rbuf_.size() - rpos_ < n) {
+    if (!fill()) return false;
+  }
+  out->assign(rbuf_, rpos_, n);
+  rpos_ += n;
+  if (rpos_ == rbuf_.size()) {
+    rbuf_.clear();
+    rpos_ = 0;
+  }
+  return true;
+}
+
+cmd_status memcache_client::get(const std::string& key, std::string* out) {
+  if (!send_raw("get " + key + "\r\n")) return cmd_status::error;
+  std::string line;
+  if (!read_line(&line)) return cmd_status::error;
+  if (line == "END") return cmd_status::miss;
+  // VALUE <key> <flags> <bytes>
+  if (line.rfind("VALUE ", 0) != 0) {
+    error_ = "unexpected get reply: " + line;
+    return cmd_status::error;
+  }
+  const std::size_t last_sp = line.find_last_of(' ');
+  std::size_t bytes = 0;
+  try {
+    bytes = static_cast<std::size_t>(
+        std::stoull(line.substr(last_sp + 1)));
+  } catch (...) {
+    error_ = "bad VALUE byte count: " + line;
+    return cmd_status::error;
+  }
+  std::string data;
+  if (!read_exact(bytes + 2, &data)) return cmd_status::error;
+  data.resize(bytes);  // trim the CRLF
+  std::string end_line;
+  if (!read_line(&end_line)) return cmd_status::error;
+  if (end_line != "END") {
+    error_ = "missing END after VALUE: " + end_line;
+    return cmd_status::error;
+  }
+  if (out != nullptr) *out = std::move(data);
+  return cmd_status::hit;
+}
+
+cmd_status memcache_client::set(const std::string& key,
+                                const std::string& value) {
+  std::string req = "set " + key + " 0 0 " + std::to_string(value.size()) +
+                    "\r\n";
+  req += value;
+  req += "\r\n";
+  if (!send_raw(req)) return cmd_status::error;
+  std::string line;
+  if (!read_line(&line)) return cmd_status::error;
+  if (line == "STORED") return cmd_status::stored;
+  if (line.rfind("SERVER_ERROR object too large", 0) == 0)
+    return cmd_status::too_large;
+  error_ = "unexpected set reply: " + line;
+  return cmd_status::error;
+}
+
+cmd_status memcache_client::del(const std::string& key) {
+  if (!send_raw("delete " + key + "\r\n")) return cmd_status::error;
+  std::string line;
+  if (!read_line(&line)) return cmd_status::error;
+  if (line == "DELETED") return cmd_status::deleted;
+  if (line == "NOT_FOUND") return cmd_status::not_found;
+  error_ = "unexpected delete reply: " + line;
+  return cmd_status::error;
+}
+
+cmd_status memcache_client::flush() {
+  if (!send_raw("flush_all\r\n")) return cmd_status::error;
+  std::string line;
+  if (!read_line(&line)) return cmd_status::error;
+  if (line == "OK") return cmd_status::ok;
+  error_ = "unexpected flush_all reply: " + line;
+  return cmd_status::error;
+}
+
+bool memcache_client::stats(
+    std::vector<std::pair<std::string, std::string>>* out) {
+  if (!send_raw("stats\r\n")) return false;
+  std::string line;
+  for (;;) {
+    if (!read_line(&line)) return false;
+    if (line == "END") return true;
+    if (line.rfind("STAT ", 0) != 0) {
+      error_ = "unexpected stats reply: " + line;
+      return false;
+    }
+    const std::size_t sp = line.find(' ', 5);
+    if (out != nullptr) {
+      if (sp == std::string::npos)
+        out->emplace_back(line.substr(5), "");
+      else
+        out->emplace_back(line.substr(5, sp - 5), line.substr(sp + 1));
+    }
+  }
+}
+
+bool memcache_client::version(std::string* out) {
+  if (!send_raw("version\r\n")) return false;
+  std::string line;
+  if (!read_line(&line)) return false;
+  if (line.rfind("VERSION ", 0) != 0) {
+    error_ = "unexpected version reply: " + line;
+    return false;
+  }
+  if (out != nullptr) *out = line.substr(8);
+  return true;
+}
+
+void memcache_client::quit() {
+  if (fd_.valid()) (void)send_raw("quit\r\n");
+  fd_.reset();
+}
+
+}  // namespace cohort::net

@@ -1,0 +1,63 @@
+// Blocking memcached-text-protocol client for the served-traffic paths
+// (DESIGN.md §6): the `--workload kvnet` benchmark drives one instance per
+// worker thread over loopback, the CTest protocol suite scripts exchanges
+// with it, and `cohort_bench --workload kvnet --smoke` uses it against an
+// externally started server.
+//
+// Executor-shaped on purpose: get/set/del return kvstore::cmd_status, the
+// same vocabulary as command_executor, so kvstore::mix_workload::step()
+// drives a socket exactly like it drives the in-process store.  Transport
+// or protocol failures come back as cmd_status::error (and last_error()
+// explains); the benchmark counts those as failed ops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kvstore/command.hpp"
+#include "net/socket.hpp"
+
+namespace cohort::net {
+
+class memcache_client {
+ public:
+  memcache_client() = default;
+
+  bool connect(const std::string& host, std::uint16_t port);
+  void close() { fd_.reset(); }
+  bool connected() const noexcept { return fd_.valid(); }
+  const std::string& last_error() const noexcept { return error_; }
+
+  // The executor-shaped command surface (cmd_status results).
+  kvstore::cmd_status get(const std::string& key, std::string* out);
+  kvstore::cmd_status set(const std::string& key, const std::string& value);
+  kvstore::cmd_status del(const std::string& key);
+  kvstore::cmd_status flush();
+
+  // STAT name value pairs until END; false on transport/protocol failure.
+  bool stats(std::vector<std::pair<std::string, std::string>>* out);
+  // "VERSION ..." line; false on failure.
+  bool version(std::string* out);
+  // Polite shutdown: send quit and close.
+  void quit();
+
+  // Raw escape hatches for protocol tests (send bytes verbatim / read one
+  // CRLF-terminated line without interpretation / half-close the write
+  // side after a pipelined burst while continuing to read replies).
+  bool send_raw(const std::string& bytes);
+  bool read_line(std::string* line);
+  bool read_exact(std::size_t n, std::string* out);
+  void shutdown_write();
+
+ private:
+  bool fill();  // one blocking read into rbuf_
+
+  unique_fd fd_;
+  std::string rbuf_;
+  std::size_t rpos_ = 0;
+  std::string error_;
+};
+
+}  // namespace cohort::net

@@ -1,0 +1,254 @@
+#include "net/memcache_proto.hpp"
+
+#include <charconv>
+
+namespace cohort::net {
+
+namespace {
+
+constexpr const char* reply_bad_line =
+    "CLIENT_ERROR bad command line format\r\n";
+constexpr const char* reply_bad_chunk = "CLIENT_ERROR bad data chunk\r\n";
+constexpr const char* reply_line_too_long =
+    "CLIENT_ERROR command line too long\r\n";
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) out.emplace_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  const char* b = s.data();
+  const char* e = b + s.size();
+  auto [p, ec] = std::from_chars(b, e, *out);
+  return ec == std::errc() && p == e;
+}
+
+}  // namespace
+
+void request_parser::feed(const char* p, std::size_t n) {
+  buf_.append(p, n);
+}
+
+void request_parser::compact() {
+  // Drop the consumed prefix once it dominates the buffer so long-lived
+  // connections do not accrete every request they ever sent.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+bool request_parser::take_line(std::string* line) {
+  const std::size_t eol = buf_.find("\r\n", pos_);
+  if (eol == std::string::npos) return false;
+  line->assign(buf_, pos_, eol - pos_);
+  pos_ = eol + 2;
+  compact();
+  return true;
+}
+
+parse_event request_parser::next() {
+  parse_event ev;
+
+  if (state_ == state::swallow) {
+    const std::size_t have = buf_.size() - pos_;
+    const std::size_t take = have < swallow_need_ ? have : swallow_need_;
+    pos_ += take;
+    swallow_need_ -= take;
+    compact();
+    if (swallow_need_ > 0) return ev;  // need_more
+    state_ = state::line;
+    ev.what = parse_event::kind::error;
+    ev.reply = swallow_reply_;
+    swallow_reply_.clear();
+    return ev;
+  }
+
+  if (state_ == state::body) {
+    if (buf_.size() - pos_ < body_need_) return ev;  // need_more
+    // body_need_ = data bytes + CRLF terminator.
+    const std::size_t data_len = body_need_ - 2;
+    pending_.data.assign(buf_, pos_, data_len);
+    const bool terminated =
+        buf_[pos_ + data_len] == '\r' && buf_[pos_ + data_len + 1] == '\n';
+    pos_ += body_need_;
+    body_need_ = 0;
+    state_ = state::line;
+    compact();
+    if (!terminated) {
+      // Data block did not end in CRLF: the byte count and the stream
+      // disagree.  Report and keep parsing at the next CRLF boundary --
+      // the two trailing bytes were already consumed as data.
+      ev.what = parse_event::kind::error;
+      ev.reply = reply_bad_chunk;
+      return ev;
+    }
+    ev.what = parse_event::kind::request;
+    ev.request = std::move(pending_);
+    pending_ = {};
+    return ev;
+  }
+
+  // state::line
+  std::string line;
+  if (!take_line(&line)) {
+    if (buf_.size() - pos_ > limits_.max_line_bytes) {
+      // No CRLF within the line cap: the framing is unrecoverable because
+      // we cannot tell where the next request starts.
+      ev.what = parse_event::kind::fatal_error;
+      ev.reply = reply_line_too_long;
+      return ev;
+    }
+    return ev;  // need_more
+  }
+  if (line.size() > limits_.max_line_bytes) {
+    ev.what = parse_event::kind::fatal_error;
+    ev.reply = reply_line_too_long;
+    return ev;
+  }
+  return parse_command_line(line);
+}
+
+parse_event request_parser::parse_command_line(const std::string& line) {
+  parse_event ev;
+  const std::vector<std::string> tok = split_ws(line);
+  if (tok.empty()) {
+    ev.what = parse_event::kind::error;
+    ev.reply = reply_error;
+    return ev;
+  }
+  const std::string& cmd = tok[0];
+
+  if (cmd == "get") {
+    if (tok.size() < 2) {
+      ev.what = parse_event::kind::error;
+      ev.reply = reply_bad_line;
+      return ev;
+    }
+    if (tok.size() - 1 > limits_.max_get_keys) {
+      ev.what = parse_event::kind::error;
+      ev.reply = "CLIENT_ERROR too many keys in get\r\n";
+      return ev;
+    }
+    ev.what = parse_event::kind::request;
+    ev.request.op = text_request::kind::get;
+    ev.request.keys.assign(tok.begin() + 1, tok.end());
+    return ev;
+  }
+
+  if (cmd == "set") {
+    // set <key> <flags> <exptime> <bytes> [noreply]
+    const bool noreply = tok.size() == 6 && tok[5] == "noreply";
+    std::uint64_t flags = 0;
+    std::uint64_t exptime = 0;
+    std::uint64_t bytes = 0;
+    if ((tok.size() != 5 && !(tok.size() == 6 && noreply)) ||
+        !parse_u64(tok[2], &flags) || !parse_u64(tok[3], &exptime) ||
+        !parse_u64(tok[4], &bytes)) {
+      // The byte count is unusable, so the following data block cannot be
+      // skipped reliably; memcached replies and resynchronises at the next
+      // line, and so do we.
+      ev.what = parse_event::kind::error;
+      ev.reply = reply_bad_line;
+      return ev;
+    }
+    if (bytes > limits_.max_value_bytes) {
+      // Discard the data block in bounded memory, then report (silently
+      // for noreply, which suppresses error replies too).
+      state_ = state::swallow;
+      swallow_need_ = static_cast<std::size_t>(bytes) + 2;
+      swallow_reply_ = noreply ? "" : reply_too_large;
+      return next();
+    }
+    pending_ = {};
+    pending_.op = text_request::kind::set;
+    pending_.key = tok[1];
+    pending_.flags = static_cast<std::uint32_t>(flags);
+    pending_.noreply = noreply;
+    state_ = state::body;
+    body_need_ = static_cast<std::size_t>(bytes) + 2;
+    return next();
+  }
+
+  if (cmd == "delete") {
+    const bool noreply = tok.size() == 3 && tok[2] == "noreply";
+    if (tok.size() != 2 && !noreply) {
+      ev.what = parse_event::kind::error;
+      ev.reply = reply_bad_line;
+      return ev;
+    }
+    ev.what = parse_event::kind::request;
+    ev.request.op = text_request::kind::del;
+    ev.request.key = tok[1];
+    ev.request.noreply = noreply;
+    return ev;
+  }
+
+  if (cmd == "stats" && tok.size() == 1) {
+    ev.what = parse_event::kind::request;
+    ev.request.op = text_request::kind::stats;
+    return ev;
+  }
+
+  if (cmd == "flush_all") {
+    const bool noreply = tok.size() == 2 && tok[1] == "noreply";
+    if (tok.size() != 1 && !noreply) {
+      ev.what = parse_event::kind::error;
+      ev.reply = reply_bad_line;
+      return ev;
+    }
+    ev.what = parse_event::kind::request;
+    ev.request.op = text_request::kind::flush;
+    ev.request.noreply = noreply;
+    return ev;
+  }
+
+  if (cmd == "version" && tok.size() == 1) {
+    ev.what = parse_event::kind::request;
+    ev.request.op = text_request::kind::version;
+    return ev;
+  }
+
+  if (cmd == "quit") {
+    ev.what = parse_event::kind::request;
+    ev.request.op = text_request::kind::quit;
+    return ev;
+  }
+
+  ev.what = parse_event::kind::error;
+  ev.reply = reply_error;
+  return ev;
+}
+
+void append_value_reply(std::string& out, const std::string& key,
+                        std::uint32_t flags, const std::string& data) {
+  out += "VALUE ";
+  out += key;
+  out += ' ';
+  out += std::to_string(flags);
+  out += ' ';
+  out += std::to_string(data.size());
+  out += "\r\n";
+  out += data;
+  out += "\r\n";
+}
+
+void append_stat(std::string& out, const std::string& name,
+                 std::uint64_t value) {
+  out += "STAT ";
+  out += name;
+  out += ' ';
+  out += std::to_string(value);
+  out += "\r\n";
+}
+
+}  // namespace cohort::net

@@ -1,0 +1,122 @@
+// Incremental parser and reply formatter for the memcached text-protocol
+// subset the front-end serves (DESIGN.md §6):
+//
+//   get <key> [<key>...]\r\n
+//   set <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+//   delete <key> [noreply]\r\n
+//   stats\r\n
+//   flush_all [noreply]\r\n
+//   version\r\n
+//   quit\r\n
+//
+// Flags given on the set line are NOT persisted -- the store keeps raw
+// values, so VALUE replies always report flags 0.  exptime is accepted and
+// ignored (no TTLs in the engine).
+//
+// The parser is a per-connection state machine fed arbitrary byte chunks:
+// it yields one event per complete request (pipelined requests in one read
+// are yielded back to back), asks for more bytes mid-request, and reports
+// protocol errors as ready-made reply lines.  An oversized set payload is
+// *swallowed* in bounded memory -- the parser discards the data stream
+// chunk by chunk instead of buffering it, then yields the SERVER_ERROR.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cohort::net {
+
+struct proto_limits {
+  std::size_t max_value_bytes = 1 << 20;  // set payload cap
+  std::size_t max_line_bytes = 8192;      // command-line cap (keys included)
+  // Keys per multi-get line.  Bounds the reply a single request can
+  // generate (max_get_keys * max_value_bytes) -- without it an 8 KB get
+  // line repeating one large key could demand gigabytes of reply
+  // buffering.  More keys draw CLIENT_ERROR.
+  std::size_t max_get_keys = 64;
+};
+
+struct text_request {
+  enum class kind : std::uint8_t {
+    get,
+    set,
+    del,
+    stats,
+    flush,
+    version,
+    quit,
+  };
+  kind op = kind::get;
+  std::vector<std::string> keys;  // get: one or more
+  std::string key;                // set/delete
+  std::uint32_t flags = 0;        // set, echoed in VALUE replies
+  std::string data;               // set payload (without the trailing \r\n)
+  bool noreply = false;
+};
+
+struct parse_event {
+  enum class kind : std::uint8_t {
+    need_more,   // feed more bytes
+    request,     // `request` is complete
+    error,       // send `reply`, keep the connection
+    fatal_error, // send `reply`, then close (framing is unrecoverable)
+  };
+  kind what = kind::need_more;
+  text_request request{};
+  std::string reply;  // error reply line(s), CRLF included
+};
+
+class request_parser {
+ public:
+  explicit request_parser(proto_limits limits = {}) : limits_(limits) {}
+
+  // Append raw bytes from the socket.
+  void feed(const char* p, std::size_t n);
+
+  // Yield the next event.  Call in a loop after each feed() until
+  // need_more comes back.
+  parse_event next();
+
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  enum class state : std::uint8_t { line, body, swallow };
+
+  bool take_line(std::string* line);
+  void compact();
+  parse_event parse_command_line(const std::string& line);
+
+  proto_limits limits_;
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+
+  state state_ = state::line;
+  text_request pending_{};        // set header awaiting its data block
+  std::size_t body_need_ = 0;     // data bytes (+CRLF) still to collect
+  std::size_t swallow_need_ = 0;  // bytes still to discard (oversized set)
+  std::string swallow_reply_;     // error to emit once swallowed
+};
+
+// ---- reply formatting -------------------------------------------------------
+
+inline constexpr const char* reply_end = "END\r\n";
+inline constexpr const char* reply_stored = "STORED\r\n";
+inline constexpr const char* reply_deleted = "DELETED\r\n";
+inline constexpr const char* reply_not_found = "NOT_FOUND\r\n";
+inline constexpr const char* reply_ok = "OK\r\n";
+inline constexpr const char* reply_error = "ERROR\r\n";
+inline constexpr const char* reply_too_large =
+    "SERVER_ERROR object too large for cache\r\n";
+
+// VALUE <key> <flags> <bytes>\r\n<data>\r\n  (caller appends END after the
+// last key of a multi-get).
+void append_value_reply(std::string& out, const std::string& key,
+                        std::uint32_t flags, const std::string& data);
+
+// STAT <name> <value>\r\n
+void append_stat(std::string& out, const std::string& name,
+                 std::uint64_t value);
+
+}  // namespace cohort::net

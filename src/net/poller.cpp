@@ -1,0 +1,127 @@
+#include "net/poller.hpp"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <poll.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+#include <unistd.h>
+
+namespace cohort::net {
+
+poller::poller() {
+#if defined(__linux__)
+  const char* force_poll = std::getenv("COHORT_NET_POLL");
+  if (force_poll == nullptr || force_poll[0] == '\0' ||
+      force_poll[0] == '0') {
+    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  }
+#endif
+}
+
+poller::~poller() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+#if defined(__linux__)
+namespace {
+std::uint32_t epoll_mask(bool want_read, bool want_write) {
+  std::uint32_t ev = 0;
+  if (want_read) ev |= EPOLLIN;
+  if (want_write) ev |= EPOLLOUT;
+  return ev;
+}
+}  // namespace
+#endif
+
+bool poller::add(int fd, bool want_read, bool want_write) {
+  fds_[fd] = {want_read, want_write};
+#if defined(__linux__)
+  if (epfd_ >= 0) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+#endif
+  return true;
+}
+
+bool poller::modify(int fd, bool want_read, bool want_write) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return false;
+  it->second = {want_read, want_write};
+#if defined(__linux__)
+  if (epfd_ >= 0) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    return ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+  }
+#endif
+  return true;
+}
+
+void poller::remove(int fd) {
+  fds_.erase(fd);
+#if defined(__linux__)
+  if (epfd_ >= 0) ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+}
+
+bool poller::wait(std::vector<poll_event>& out, int timeout_ms) {
+  out.clear();
+#if defined(__linux__)
+  if (epfd_ >= 0) {
+    epoll_event evs[64];
+    int n;
+    do {
+      n = ::epoll_wait(epfd_, evs, 64, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return false;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      poll_event e;
+      e.fd = evs[i].data.fd;
+      e.readable = (evs[i].events & EPOLLIN) != 0;
+      e.writable = (evs[i].events & EPOLLOUT) != 0;
+      e.hangup = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(e);
+    }
+    return true;
+  }
+#endif
+  // poll(2) fallback: rebuild the pollfd array from the interest map each
+  // call.  O(fds) per wait, which is fine at the connection counts the
+  // fallback exists for.
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (const auto& [fd, in] : fds_) {
+    pollfd p{};
+    p.fd = fd;
+    if (in.read) p.events |= POLLIN;
+    if (in.write) p.events |= POLLOUT;
+    pfds.push_back(p);
+  }
+  int n;
+  do {
+    n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return false;
+  for (const pollfd& p : pfds) {
+    if (p.revents == 0) continue;
+    poll_event e;
+    e.fd = p.fd;
+    e.readable = (p.revents & POLLIN) != 0;
+    e.writable = (p.revents & POLLOUT) != 0;
+    e.hangup = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(e);
+  }
+  return true;
+}
+
+}  // namespace cohort::net

@@ -1,0 +1,366 @@
+#include "net/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <unordered_map>
+
+#include "numa/topology.hpp"
+
+namespace cohort::net {
+
+namespace {
+constexpr const char* reply_version = "VERSION cohort-kv 1.0\r\n";
+}
+
+// Per-connection state; owned by exactly one worker, so unsynchronised.
+struct kv_server::connection {
+  explicit connection(unique_fd f, proto_limits limits)
+      : fd(std::move(f)), parser(limits) {}
+
+  unique_fd fd;
+  request_parser parser;
+  std::string out;
+  std::size_t out_pos = 0;
+  bool want_read = true;    // current poller interest
+  bool want_write = false;
+  bool eof = false;         // peer half-closed: drain replies, then close
+  bool closing = false;     // quit/fatal error: close once output drains
+};
+
+struct kv_server::worker {
+  worker(kvstore::any_sharded_store& store, proto_limits limits)
+      : exec(store, limits.max_value_bytes) {}
+
+  poller pl;
+  kvstore::command_executor<kvstore::any_sharded_store> exec;
+  std::unordered_map<int, std::unique_ptr<connection>> conns;
+  unique_fd wake_rd, wake_wr;  // self-pipe for stop()
+  // Accept backpressure: after a hard accept failure (EMFILE/ENFILE) the
+  // listen fd is removed from this worker's poller until the cooldown
+  // passes -- level-triggered readiness would otherwise spin the thread.
+  bool listen_parked = false;
+  std::chrono::steady_clock::time_point listen_parked_until{};
+  // Single-writer counter cells (this worker's thread), sampled live.
+  stat_cell connections, commands, protocol_errors;
+  std::vector<poll_event> events;  // reused wait buffer
+};
+
+std::size_t kv_server::pending_out(const connection& c) {
+  return c.out.size() - c.out_pos;
+}
+
+bool kv_server::throttled(const connection& c) const {
+  return pending_out(c) > high_water_;
+}
+
+kv_server::kv_server(kvstore::any_sharded_store& store, server_config cfg)
+    : store_(store), cfg_(std::move(cfg)) {
+  if (cfg_.io_threads == 0) cfg_.io_threads = 1;
+  high_water_ = 256 * 1024 + cfg_.limits.max_value_bytes;
+}
+
+kv_server::~kv_server() { stop(); }
+
+bool kv_server::start(std::string* error) {
+  if (running_) return true;
+  listen_fd_ = listen_tcp(cfg_.host, cfg_.port, &port_, error);
+  if (!listen_fd_.valid()) return false;
+
+  stop_flag_.store(false, std::memory_order_relaxed);
+  workers_.clear();
+  for (unsigned i = 0; i < cfg_.io_threads; ++i) {
+    auto w = std::make_unique<worker>(store_, cfg_.limits);
+    int pipe_fds[2];
+    if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+      if (error != nullptr)
+        *error = std::string("pipe2: ") + std::strerror(errno);
+      listen_fd_.reset();
+      workers_.clear();
+      return false;
+    }
+    w->wake_rd.reset(pipe_fds[0]);
+    w->wake_wr.reset(pipe_fds[1]);
+    w->pl.add(listen_fd_.get(), /*want_read=*/true, /*want_write=*/false);
+    w->pl.add(w->wake_rd.get(), /*want_read=*/true, /*want_write=*/false);
+    workers_.push_back(std::move(w));
+  }
+  threads_.clear();
+  for (unsigned i = 0; i < cfg_.io_threads; ++i) {
+    threads_.emplace_back([this, i] {
+      if (cfg_.pin_io_threads) {
+        const auto& topo = numa::system_topology();
+        const unsigned k = topo.clusters() != 0 ? topo.clusters() : 1;
+        numa::pin_thread_to_cluster(topo, i % k);
+      } else {
+        numa::set_thread_cluster(i);
+      }
+      io_loop(*workers_[i]);
+    });
+  }
+  running_ = true;
+  return true;
+}
+
+void kv_server::stop() {
+  if (!running_) return;
+  stop_flag_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t rc = ::write(w->wake_wr.get(), &byte, 1);
+  }
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  for (auto& w : workers_) w->conns.clear();
+  listen_fd_.reset();
+  running_ = false;
+}
+
+server_counters kv_server::counters() const {
+  server_counters total;
+  for (const auto& w : workers_) {
+    total.connections += w->connections.get();
+    total.commands += w->commands.get();
+    total.protocol_errors += w->protocol_errors.get();
+  }
+  return total;
+}
+
+void kv_server::io_loop(worker& w) {
+  while (!stop_flag_.load(std::memory_order_acquire)) {
+    int timeout_ms = 1000;  // backstop; the self-pipe makes stop() prompt
+    if (w.listen_parked) {
+      if (std::chrono::steady_clock::now() >= w.listen_parked_until) {
+        w.pl.add(listen_fd_.get(), /*want_read=*/true, /*want_write=*/false);
+        w.listen_parked = false;
+      } else {
+        timeout_ms = 100;  // wake in time to un-park
+      }
+    }
+    if (!w.pl.wait(w.events, timeout_ms)) break;
+    for (const poll_event& ev : w.events) {
+      if (ev.fd == listen_fd_.get()) {
+        if (ev.readable) accept_ready(w);
+        continue;
+      }
+      if (ev.fd == w.wake_rd.get()) {
+        char drain[16];
+        while (::read(w.wake_rd.get(), drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      auto it = w.conns.find(ev.fd);
+      if (it == w.conns.end()) continue;
+      connection& c = *it->second;
+      if (ev.hangup) {
+        close_connection(w, ev.fd);
+        continue;
+      }
+      if (ev.readable) {
+        connection_readable(w, c);  // reads, drains, pumps, closes
+        continue;
+      }
+      if (ev.writable && !pump(w, c)) close_connection(w, ev.fd);
+    }
+  }
+}
+
+void kv_server::accept_ready(worker& w) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // EAGAIN: another worker won the race or the backlog drained.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // Hard failure (EMFILE/ENFILE/ENOMEM): under level-triggered
+      // readiness the listen fd would re-fire immediately and spin this
+      // worker, so park it for a cooldown and retry then.
+      w.pl.remove(listen_fd_.get());
+      w.listen_parked = true;
+      w.listen_parked_until = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(100);
+      return;
+    }
+    ++w.connections;
+    auto conn = std::make_unique<connection>(unique_fd(fd), cfg_.limits);
+    w.pl.add(fd, /*want_read=*/true, /*want_write=*/false);
+    w.conns.emplace(fd, std::move(conn));
+  }
+}
+
+// Drain the complete requests the parser holds (pipelining: several may
+// arrive in one read), stopping at the output high-water mark so a
+// pipelining client cannot drive unbounded reply buffering.
+bool kv_server::drain_parser(worker& w, connection& c) {
+  while (!c.closing) {
+    if (throttled(c)) return false;  // parked; pump() resumes after writes
+    parse_event ev = c.parser.next();
+    if (ev.what == parse_event::kind::need_more) return true;
+    if (ev.what == parse_event::kind::request) {
+      execute(w, c, ev.request);
+      continue;
+    }
+    // error / fatal_error (the reply is empty for suppressed noreply
+    // errors, which still count)
+    ++w.protocol_errors;
+    c.out += ev.reply;
+    if (ev.what == parse_event::kind::fatal_error) c.closing = true;
+  }
+  return true;  // closing: remaining input is irrelevant
+}
+
+void kv_server::connection_readable(worker& w, connection& c) {
+  const int fd = c.fd.get();
+  char buf[16384];
+  // Parse after every chunk, not after the whole burst, so an oversized
+  // set being swallowed is discarded chunk by chunk instead of accreting
+  // in the parser buffer; stop reading at the output high-water mark.
+  while (!c.closing && !c.eof && !throttled(c)) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      c.parser.feed(buf, static_cast<std::size_t>(n));
+      drain_parser(w, c);
+      continue;
+    }
+    if (n == 0) {
+      // Half-close: no further requests, but buffered replies still go
+      // out -- pump() closes once both directions are drained.
+      c.eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    // Read error: the peer is gone; drop whatever was queued.
+    c.closing = true;
+    c.out.clear();
+    c.out_pos = 0;
+    break;
+  }
+  if (!pump(w, c)) close_connection(w, fd);
+}
+
+bool kv_server::flush_output(connection& c) {
+  while (c.out_pos < c.out.size()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-reply must surface as EPIPE,
+    // not kill the server process.
+    const ssize_t n = ::send(c.fd.get(), c.out.data() + c.out_pos,
+                             c.out.size() - c.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return true;  // wait for writability
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // write error: drop the connection
+  }
+  c.out.clear();
+  c.out_pos = 0;
+  return true;
+}
+
+bool kv_server::pump(worker& w, connection& c) {
+  // Alternate flushing and parsing until the socket stops accepting
+  // writes (throttled with EAGAIN), the parser runs out of complete
+  // requests, or the connection is closing.  Flushing first means a
+  // writable event resumes parser work that parked on the high-water
+  // mark even when no further readable event will arrive (half-close).
+  bool parser_idle = false;
+  for (;;) {
+    if (!flush_output(c)) return false;
+    if (c.closing || throttled(c) || parser_idle) break;
+    parser_idle = drain_parser(w, c);
+  }
+  const bool drained = pending_out(c) == 0;
+  if (c.closing && drained) return false;    // quit/fatal: done
+  if (c.eof && parser_idle && drained) return false;  // both sides drained
+  update_interest(w, c);
+  return true;
+}
+
+// Poller interest follows connection state: reads stop while closing,
+// half-closed, or throttled on output; writes are wanted while replies
+// are buffered.
+void kv_server::update_interest(worker& w, connection& c) {
+  const bool want_read = !c.closing && !c.eof && !throttled(c);
+  const bool want_write = pending_out(c) > 0;
+  if (want_read != c.want_read || want_write != c.want_write) {
+    c.want_read = want_read;
+    c.want_write = want_write;
+    w.pl.modify(c.fd.get(), want_read, want_write);
+  }
+}
+
+void kv_server::execute(worker& w, connection& c, text_request& req) {
+  using kind = text_request::kind;
+  ++w.commands;
+  switch (req.op) {
+    case kind::get: {
+      std::string value;
+      for (const std::string& key : req.keys) {
+        if (w.exec.get(key, &value) == kvstore::cmd_status::hit)
+          append_value_reply(c.out, key, 0, value);
+      }
+      c.out += reply_end;
+      return;
+    }
+    case kind::set: {
+      const auto st = w.exec.set(req.key, std::move(req.data));
+      if (req.noreply) return;
+      c.out += st == kvstore::cmd_status::stored ? reply_stored
+                                                 : reply_too_large;
+      return;
+    }
+    case kind::del: {
+      const auto st = w.exec.del(req.key);
+      if (req.noreply) return;
+      c.out += st == kvstore::cmd_status::deleted ? reply_deleted
+                                                  : reply_not_found;
+      return;
+    }
+    case kind::flush:
+      w.exec.flush();
+      if (!req.noreply) c.out += reply_ok;
+      return;
+    case kind::stats: {
+      const kvstore::store_snapshot snap = w.exec.stats();
+      const server_counters sc = counters();
+      append_stat(c.out, "cmd_get", snap.counters.gets);
+      append_stat(c.out, "cmd_set", snap.counters.sets);
+      append_stat(c.out, "cmd_delete", snap.counters.deletes);
+      append_stat(c.out, "get_hits", snap.counters.get_hits);
+      // Clamp: cells move independently, so a live sample may transiently
+      // observe hits ahead of gets.
+      append_stat(c.out, "get_misses",
+                  snap.counters.gets >= snap.counters.get_hits
+                      ? snap.counters.gets - snap.counters.get_hits
+                      : 0);
+      append_stat(c.out, "evictions", snap.counters.evictions);
+      append_stat(c.out, "curr_items", snap.items);
+      append_stat(c.out, "shards", snap.shards);
+      append_stat(c.out, "threads", cfg_.io_threads);
+      append_stat(c.out, "total_connections", sc.connections);
+      append_stat(c.out, "cmd_total", sc.commands);
+      append_stat(c.out, "protocol_errors", sc.protocol_errors);
+      c.out += reply_end;
+      return;
+    }
+    case kind::version:
+      c.out += reply_version;
+      return;
+    case kind::quit:
+      c.closing = true;
+      return;
+  }
+}
+
+void kv_server::close_connection(worker& w, int fd) {
+  w.pl.remove(fd);
+  w.conns.erase(fd);  // unique_fd closes it
+}
+
+}  // namespace cohort::net

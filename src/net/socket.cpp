@@ -1,0 +1,111 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cohort::net {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool parse_addr(const std::string& host, std::uint16_t port,
+                sockaddr_in* addr, std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const char* h = host.empty() ? "0.0.0.0" : host.c_str();
+  if (inet_pton(AF_INET, h, &addr->sin_addr) != 1) {
+    if (error != nullptr)
+      *error = "bad IPv4 address '" + host + "' (hostnames not supported)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void unique_fd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+unique_fd listen_tcp(const std::string& host, std::uint16_t port,
+                     std::uint16_t* bound_port, std::string* error) {
+  sockaddr_in addr;
+  if (!parse_addr(host, port, &addr, error)) return {};
+
+  unique_fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    if (error != nullptr) *error = errno_string("socket");
+    return {};
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (error != nullptr) *error = errno_string("bind");
+    return {};
+  }
+  if (::listen(fd.get(), 128) != 0) {
+    if (error != nullptr) *error = errno_string("listen");
+    return {};
+  }
+  if (!set_nonblocking(fd.get(), true)) {
+    if (error != nullptr) *error = errno_string("fcntl(O_NONBLOCK)");
+    return {};
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in got;
+    socklen_t len = sizeof(got);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&got), &len) !=
+        0) {
+      if (error != nullptr) *error = errno_string("getsockname");
+      return {};
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  return fd;
+}
+
+unique_fd connect_tcp(const std::string& host, std::uint16_t port,
+                      std::string* error) {
+  sockaddr_in addr;
+  if (!parse_addr(host.empty() ? "127.0.0.1" : host, port, &addr, error))
+    return {};
+
+  unique_fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    if (error != nullptr) *error = errno_string("socket");
+    return {};
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (error != nullptr) *error = errno_string("connect");
+    return {};
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace cohort::net

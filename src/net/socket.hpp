@@ -1,0 +1,53 @@
+// Small socket vocabulary for the net layer (DESIGN.md §6): an owning fd
+// wrapper plus the three operations the server and client need -- listen on
+// a host:port (port 0 = ephemeral, the bound port is reported back),
+// connect to one, and flip O_NONBLOCK.  IPv4 only: the front-end serves
+// loopback benchmarks and LAN memcached clients, not the open internet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace cohort::net {
+
+// Owning file descriptor; -1 means empty.
+class unique_fd {
+ public:
+  unique_fd() = default;
+  explicit unique_fd(int fd) noexcept : fd_(fd) {}
+  unique_fd(unique_fd&& o) noexcept : fd_(o.release()) {}
+  unique_fd& operator=(unique_fd&& o) noexcept {
+    if (this != &o) {
+      reset(o.release());
+    }
+    return *this;
+  }
+  unique_fd(const unique_fd&) = delete;
+  unique_fd& operator=(const unique_fd&) = delete;
+  ~unique_fd() { reset(); }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept { return std::exchange(fd_, -1); }
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+// TCP listener bound to host:port with SO_REUSEADDR, non-blocking, backlog
+// applied.  On success returns the fd and writes the actually bound port
+// (useful with port 0).  On failure returns an empty fd and fills *error.
+unique_fd listen_tcp(const std::string& host, std::uint16_t port,
+                     std::uint16_t* bound_port, std::string* error);
+
+// Blocking TCP connect, with TCP_NODELAY set (the benchmark client does
+// request/response round trips; Nagle would serialise them against delayed
+// ACKs).  Empty fd + *error on failure.
+unique_fd connect_tcp(const std::string& host, std::uint16_t port,
+                      std::string* error);
+
+bool set_nonblocking(int fd, bool on);
+
+}  // namespace cohort::net

@@ -1,0 +1,35 @@
+// Single-writer counter cell: only one thread at a time increments it (a
+// lock orders the writers), while benchmark coordinators and server stats
+// threads may sample it concurrently.  store(load + 1) keeps read-modify-
+// write instructions off the hot path; relaxed ordering is enough because
+// samplers tolerate slightly stale values.
+//
+// Shared by the cohort locks' batching counters (cohort/cohort_lock.hpp)
+// and the kv shard counters (kvstore/kv_shard.hpp), so both are safe to
+// sample mid-run for the windows[] telemetry and the server's live `stats`
+// command.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace cohort {
+
+class stat_cell {
+ public:
+  void operator++() {
+    v_.store(v_.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+  }
+  void operator--() {
+    v_.store(v_.load(std::memory_order_relaxed) - 1,
+             std::memory_order_relaxed);
+  }
+  std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+}  // namespace cohort

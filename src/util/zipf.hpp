@@ -37,6 +37,16 @@ class zipf_sampler {
   }
 
   bool uniform() const noexcept { return cdf_.empty(); }
+  std::size_t size() const noexcept { return n_; }
+
+  // P(index <= k); the uniform fallback answers analytically.  Exposed for
+  // tests (monotonicity, hot-key mass) and tooling.
+  double cdf(std::size_t k) const noexcept {
+    if (k + 1 >= n_) return 1.0;
+    if (cdf_.empty())
+      return static_cast<double>(k + 1) / static_cast<double>(n_);
+    return cdf_[k];
+  }
 
   // Draw one index in [0, n) through the caller's RNG.
   std::size_t operator()(xorshift& rng) const {

@@ -1,0 +1,175 @@
+// The shared kv command layer (kvstore/command.hpp): result codes per op,
+// the value-size cap, flush, live stats snapshots, the execute() bridge,
+// and the mix generator that every load driver shares.  Runs under the
+// ASan/TSan CI jobs: the concurrent case drives executors from several
+// threads so the counter-cell sampling contract is sanitizer-checked.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kvstore/command.hpp"
+#include "numa/topology.hpp"
+#include "util/rng.hpp"
+
+namespace kvstore {
+namespace {
+
+TEST(Command, ResultCodesPerOp) {
+  auto store = make_any_sharded_store("pthread", {.shards = 2});
+  ASSERT_NE(store, nullptr);
+  command_executor ex(*store);
+
+  EXPECT_EQ(ex.get("missing", nullptr), cmd_status::miss);
+  EXPECT_EQ(ex.set("k", "v1"), cmd_status::stored);
+  std::string out;
+  EXPECT_EQ(ex.get("k", &out), cmd_status::hit);
+  EXPECT_EQ(out, "v1");
+  EXPECT_EQ(ex.set("k", "v2"), cmd_status::stored);
+  EXPECT_EQ(ex.get("k", &out), cmd_status::hit);
+  EXPECT_EQ(out, "v2");
+  EXPECT_EQ(ex.del("k"), cmd_status::deleted);
+  EXPECT_EQ(ex.del("k"), cmd_status::not_found);
+  EXPECT_EQ(ex.get("k", nullptr), cmd_status::miss);
+}
+
+TEST(Command, ValueCapRefusesOversized) {
+  auto store = make_any_sharded_store("pthread", {});
+  ASSERT_NE(store, nullptr);
+  command_executor ex(*store, /*max_value_bytes=*/8);
+  EXPECT_EQ(ex.set("small", "12345678"), cmd_status::stored);
+  EXPECT_EQ(ex.set("big", "123456789"), cmd_status::too_large);
+  EXPECT_EQ(ex.get("big", nullptr), cmd_status::miss);
+}
+
+TEST(Command, FlushDropsItemsKeepsCounters) {
+  auto store = make_any_sharded_store("C-TKT-TKT", {.shards = 4});
+  ASSERT_NE(store, nullptr);
+  command_executor ex(*store);
+  for (int i = 0; i < 100; ++i)
+    ex.set("k" + std::to_string(i), "v");
+  store_snapshot before = ex.stats();
+  EXPECT_EQ(before.items, 100u);
+  EXPECT_EQ(before.counters.sets, 100u);
+  EXPECT_EQ(ex.flush(), cmd_status::ok);
+  store_snapshot after = ex.stats();
+  EXPECT_EQ(after.items, 0u);
+  EXPECT_EQ(after.counters.sets, 100u);  // cumulative, memcached-style
+  EXPECT_EQ(ex.get("k0", nullptr), cmd_status::miss);
+  EXPECT_EQ(after.shards, 4u);
+}
+
+TEST(Command, ExecuteBridgesToTypedOps) {
+  auto store = make_any_sharded_store("pthread", {});
+  ASSERT_NE(store, nullptr);
+  command_executor ex(*store);
+
+  command set{.op = cmd_op::set, .key = "a", .value = "payload"};
+  EXPECT_EQ(ex.execute(set).status, cmd_status::stored);
+  command get{.op = cmd_op::get, .key = "a"};
+  command_reply r = ex.execute(get);
+  EXPECT_EQ(r.status, cmd_status::hit);
+  EXPECT_EQ(r.value, "payload");
+  command del{.op = cmd_op::del, .key = "a"};
+  EXPECT_EQ(ex.execute(del).status, cmd_status::deleted);
+  command stats{.op = cmd_op::stats};
+  r = ex.execute(stats);
+  EXPECT_EQ(r.status, cmd_status::ok);
+  EXPECT_EQ(r.stats.counters.gets, 1u);
+  EXPECT_EQ(r.stats.counters.deletes, 1u);
+}
+
+TEST(Command, StatusNamesAreStable) {
+  EXPECT_STREQ(status_name(cmd_status::hit), "hit");
+  EXPECT_STREQ(status_name(cmd_status::too_large), "too_large");
+  EXPECT_STREQ(status_name(cmd_status::error), "error");
+}
+
+TEST(Command, MonomorphisedStoreWorksToo) {
+  bool ran = false;
+  with_store("C-BO-MCS", {.shards = 2, .buckets = 64}, {},
+             [&](auto& store) {
+               ran = true;
+               command_executor ex(store);
+               EXPECT_EQ(ex.set("x", "y"), cmd_status::stored);
+               std::string out;
+               EXPECT_EQ(ex.get("x", &out), cmd_status::hit);
+               EXPECT_EQ(out, "y");
+             });
+  EXPECT_TRUE(ran);
+}
+
+TEST(Command, PrefillPopulatesEveryKey) {
+  auto store = make_any_sharded_store("pthread", {.shards = 4});
+  ASSERT_NE(store, nullptr);
+  const auto keys = make_keyspace(500);
+  prefill_keyspace(*store, keys, "val", /*numa_place=*/false);
+  command_executor ex(*store);
+  std::string out;
+  for (const auto& k : keys) {
+    ASSERT_EQ(ex.get(k, &out), cmd_status::hit) << k;
+    ASSERT_EQ(out, "val");
+  }
+  EXPECT_EQ(ex.stats().items, 500u);
+}
+
+TEST(Command, MixRoutesEveryOpThroughExecutor) {
+  auto store = make_any_sharded_store("pthread", {.shards = 2});
+  ASSERT_NE(store, nullptr);
+  const auto keys = make_keyspace(100);
+  prefill_keyspace(*store, keys, "v", false);
+  const mix_workload mix(keys, /*get_ratio=*/0.5, /*zipf_theta=*/0.0, "v");
+
+  command_executor ex(*store);
+  cohort::xorshift rng(9);
+  const std::uint64_t ops = 10'000;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const cmd_status st = mix.step(ex, rng);
+    ASSERT_TRUE(st == cmd_status::hit || st == cmd_status::stored) << i;
+  }
+  const store_snapshot snap = ex.stats();
+  // Every mix step bumped exactly one counter; prefill adds 100 sets.
+  EXPECT_EQ(snap.counters.gets + snap.counters.sets, ops + keys.size());
+  EXPECT_EQ(snap.counters.get_hits, snap.counters.gets);  // all prefilled
+}
+
+TEST(Command, ConcurrentExecutorsAndLiveStats) {
+  cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
+  auto store = make_any_sharded_store("C-TKT-TKT", {.shards = 4});
+  ASSERT_NE(store, nullptr);
+  const auto keys = make_keyspace(256);
+  const mix_workload mix(keys, 0.7, 0.0, "vv");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      cohort::numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      command_executor ex(*store);
+      cohort::xorshift rng(100 + t);
+      while (!stop.load(std::memory_order_relaxed)) mix.step(ex, rng);
+    });
+  }
+  // Live sampling while the writers run: the single-writer-cell contract
+  // under test (TSan job).  Cells only grow, and every sample reads each
+  // cell later than the last one did, so the sums must be monotone even
+  // though cross-counter identities are quiescent-only.
+  command_executor sampler(*store);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 200; ++i) {
+    const store_snapshot s = sampler.stats();
+    const std::uint64_t total = s.counters.gets + s.counters.sets;
+    ASSERT_GE(total, prev);
+    prev = total;
+  }
+  stop = true;
+  for (auto& w : workers) w.join();
+  const store_snapshot s = sampler.stats();
+  EXPECT_GT(s.counters.gets + s.counters.sets, 0u);
+  EXPECT_LE(s.items, 256u);
+}
+
+}  // namespace
+}  // namespace kvstore

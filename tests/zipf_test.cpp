@@ -1,0 +1,107 @@
+// util/zipf.hpp: the CDF table behind every skewed axis (kv --zipf key
+// skew, alloc --size-zipf size classes).  Checks the distribution itself --
+// CDF monotonicity, the theta=0 uniform fallback, hot-key mass at large
+// theta -- so a table bug cannot masquerade as a workload effect.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace cohort {
+namespace {
+
+TEST(Zipf, CdfIsMonotoneAndEndsAtOne) {
+  for (double theta : {0.0, 0.5, 0.99, 2.0}) {
+    const zipf_sampler z(1000, theta);
+    double prev = 0.0;
+    for (std::size_t k = 0; k < 1000; ++k) {
+      const double c = z.cdf(k);
+      ASSERT_GE(c, prev) << "theta=" << theta << " k=" << k;
+      ASSERT_LE(c, 1.0 + 1e-12);
+      prev = c;
+    }
+    EXPECT_DOUBLE_EQ(z.cdf(999), 1.0) << "theta=" << theta;
+  }
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  const std::size_t n = 16;
+  const zipf_sampler z(n, 0.0);
+  EXPECT_TRUE(z.uniform());
+
+  // Empirical check: every index within 20% of the uniform expectation.
+  xorshift rng(42);
+  std::vector<std::uint64_t> counts(n, 0);
+  const std::uint64_t draws = 160'000;
+  for (std::uint64_t i = 0; i < draws; ++i) {
+    const std::size_t k = z(rng);
+    ASSERT_LT(k, n);
+    ++counts[k];
+  }
+  const double expect = static_cast<double>(draws) / static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_GT(counts[k], 0.8 * expect) << "index " << k;
+    EXPECT_LT(counts[k], 1.2 * expect) << "index " << k;
+  }
+}
+
+TEST(Zipf, HotKeyMassGrowsWithTheta) {
+  // P(0) = (1/1^t) / H_{n,t}; for theta=3 and n=1000 that is ~0.83.
+  const std::size_t n = 1000;
+  const zipf_sampler z(n, 3.0);
+  EXPECT_FALSE(z.uniform());
+  EXPECT_GT(z.cdf(0), 0.8);
+
+  xorshift rng(7);
+  std::uint64_t hot = 0;
+  const std::uint64_t draws = 100'000;
+  for (std::uint64_t i = 0; i < draws; ++i)
+    if (z(rng) == 0) ++hot;
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(draws), 0.75);
+
+  // And the YCSB-style 0.99 is strictly less head-heavy than theta=3 but
+  // much heavier than uniform.
+  const zipf_sampler y(n, 0.99);
+  EXPECT_LT(y.cdf(0), z.cdf(0));
+  EXPECT_GT(y.cdf(0), 10.0 / static_cast<double>(n));
+}
+
+TEST(Zipf, AnalyticHeadMassMatchesHarmonicSum) {
+  const std::size_t n = 100;
+  const double theta = 1.5;
+  const zipf_sampler z(n, theta);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k)
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+  EXPECT_NEAR(z.cdf(0), 1.0 / sum, 1e-12);
+  EXPECT_NEAR(z.cdf(1), (1.0 + 1.0 / std::pow(2.0, theta)) / sum, 1e-12);
+}
+
+TEST(Zipf, DrawsAreDeterministicPerSeed) {
+  const zipf_sampler z(64, 0.99);
+  xorshift a(123), b(123), c(124);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t ka = z(a);
+    ASSERT_EQ(ka, z(b));
+    if (ka != z(c)) diverged = true;
+  }
+  EXPECT_TRUE(diverged);  // different seeds explore different sequences
+}
+
+TEST(Zipf, DegenerateSizes) {
+  // n = 0 clamps to 1; every draw is index 0 at any theta.
+  xorshift rng(1);
+  zipf_sampler z0(0, 0.99);
+  EXPECT_EQ(z0.size(), 1u);
+  EXPECT_EQ(z0(rng), 0u);
+  EXPECT_DOUBLE_EQ(z0.cdf(0), 1.0);
+  zipf_sampler z1(1, 0.0);
+  EXPECT_EQ(z1(rng), 0u);
+}
+
+}  // namespace
+}  // namespace cohort
