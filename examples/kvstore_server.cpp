@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-value-bytes" && parse_u64(next(), n) && n > 0) {
       scfg.limits.max_value_bytes = static_cast<std::size_t>(n);
     } else if (arg == "--pass-limit" && parse_u64(next(), n)) {
-      lp.pass_limit = n;
+      lp.cohort.pass_limit = n;
     } else if (arg == "--prefill" && parse_u64(next(), n)) {
       prefill = n;
     } else if (arg == "--duration") {

@@ -3,10 +3,12 @@
 # every push (and by hand before regenerating BENCH_real.json).
 #
 # Two guarantees:
-#   1. Registry completeness (hard, environment-independent): every cohort
-#      composition in the registry must have its "-fp" fast-path variant
-#      registered -- a composition added without one fails here, not in a
-#      downstream experiment.
+#   1. Registry completeness (hard, environment-independent): every lock
+#      whose descriptor says fp_composable (cohort compositions and the
+#      compact post-cohort locks; cohort_bench --list-locks is the source
+#      of truth) must have its "-fp" fast-path variant registered -- a
+#      composable lock added without one fails here, not in a downstream
+#      experiment.
 #   2. Latency: each "-fp" lock's uncontended acquire/release must sit
 #      within FP_TATAS_FACTOR x the TATAS time (default 1.5, the hardware
 #      floor a single CAS can realistically hit).  Because every plain
@@ -37,6 +39,15 @@ if [ ! -x "$BENCH" ]; then
   echo "error: $BENCH not built (needs google-benchmark; cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
   exit 1
 fi
+CLI="$BUILD_DIR/cohort_bench"
+if [ ! -x "$CLI" ]; then
+  echo "error: $CLI not built (needed for --list-locks descriptor metadata)" >&2
+  exit 1
+fi
+
+# The composable set from the descriptor registry, not from a name pattern:
+# a lock whose caps include fp_composable must have a "-fp" twin.
+COMPOSABLE=$("$CLI" --list-locks | awk -F'\t' '$3 ~ /fp_composable/ { print $1 }')
 
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
@@ -48,6 +59,7 @@ trap 'rm -f "$out"' EXIT
   --benchmark_format=json > "$out" 2>/dev/null
 
 FP_TATAS_FACTOR="$FP_TATAS_FACTOR" FP_INVERSION_SLACK="$FP_INVERSION_SLACK" \
+FP_COMPOSABLE="$COMPOSABLE" \
 python3 - "$out" <<'EOF'
 import json, os, re, sys
 
@@ -64,11 +76,14 @@ if "TATAS" not in times:
     sys.exit("error: TATAS missing from the uncontended benchmark set")
 tatas = times["TATAS"]
 
-cohorts = [n for n in times
-           if re.fullmatch(r"A?-?C-.*", n) and not n.endswith("-fp")]
+cohorts = os.environ["FP_COMPOSABLE"].split()
+absent = [n for n in cohorts if n not in times]
+if absent:
+    sys.exit("error: fp_composable lock(s) missing from the benchmark set: "
+             + ", ".join(sorted(absent)))
 missing = [n for n in cohorts if n + "-fp" not in times]
 if missing:
-    sys.exit("error: cohort composition(s) missing a fast-path build: "
+    sys.exit("error: fp_composable lock(s) missing a fast-path build: "
              + ", ".join(sorted(missing)))
 
 factor = float(os.environ["FP_TATAS_FACTOR"])

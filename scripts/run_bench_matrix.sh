@@ -28,16 +28,20 @@
 #   DURATION   measured seconds per (lock, rep)             (default: 1)
 #   REPS       repetitions per lock                         (default: 3)
 #   KV_LOCKS   locks for the kv sweep
-#                        (default: pthread C-TKT-TKT C-TKT-TKT-fp C-BO-MCS)
+#                        (default: pthread C-TKT-TKT C-TKT-TKT-fp C-BO-MCS
+#                         plus the compact locks cna reciprocating)
 #   KV_SHARDS  shard counts for the kv sweep               (default: 1 4 16)
 #   NET_LOCKS    locks for the kvnet served sweep
-#                        (default: pthread C-TKT-TKT C-TKT-TKT-fp)
+#                        (default: pthread C-TKT-TKT C-TKT-TKT-fp
+#                         plus the compact locks cna reciprocating)
 #   NET_THREADS  client connection counts for kvnet
 #                        (default: "2 <THREADS>", deduplicated)
 #   NET_IO_THREADS  server event-loop threads for kvnet    (default: 2)
 #   NET_SHARDS      engine shards for kvnet                (default: 4)
 #   SWEEP_LOCKS    locks for the contention sweep
-#                        (default: TATAS plus each -fp lock and its baseline)
+#                        (default: TATAS plus each -fp lock and its baseline,
+#                         including every family=compact lock and its twin --
+#                         cross-checked below against --list-locks)
 #   SWEEP_THREADS  thread counts for the contention sweep
 #                        (default: "1 2 <clusters> <THREADS>", deduplicated)
 #   FP_HYST_LOCK      lock for the hysteresis sweep (default: C-TKT-TKT-fp)
@@ -64,9 +68,9 @@ BUILD_DIR=${BUILD_DIR:-build}
 THREADS=${THREADS:-$(nproc)}
 DURATION=${DURATION:-1}
 REPS=${REPS:-3}
-KV_LOCKS=${KV_LOCKS:-pthread C-TKT-TKT C-TKT-TKT-fp C-BO-MCS}
+KV_LOCKS=${KV_LOCKS:-pthread C-TKT-TKT C-TKT-TKT-fp C-BO-MCS cna reciprocating}
 KV_SHARDS=${KV_SHARDS:-1 4 16}
-NET_LOCKS=${NET_LOCKS:-pthread C-TKT-TKT C-TKT-TKT-fp}
+NET_LOCKS=${NET_LOCKS:-pthread C-TKT-TKT C-TKT-TKT-fp cna reciprocating}
 NET_IO_THREADS=${NET_IO_THREADS:-2}
 NET_SHARDS=${NET_SHARDS:-4}
 FP_HYST_LOCK=${FP_HYST_LOCK:-C-TKT-TKT-fp}
@@ -78,7 +82,9 @@ ALLOC_ZIPF_LOCKS=${ALLOC_ZIPF_LOCKS:-pthread C-TKT-TKT}
 # Contention sweep axis: each fast-path lock, its non-fp baseline, and the
 # TATAS reference, at 1 thread (uncontended latency), 2 (first contention),
 # one per cluster (pure cross-cluster traffic), and saturation ($THREADS).
-SWEEP_LOCKS=${SWEEP_LOCKS:-TATAS C-TKT-TKT C-TKT-TKT-fp C-BO-MCS C-BO-MCS-fp C-MCS-MCS C-MCS-MCS-fp}
+# The compact (post-cohort) locks ride along so CNA / Reciprocating batching
+# lands next to the cohort compositions at every contention level.
+SWEEP_LOCKS=${SWEEP_LOCKS:-TATAS C-TKT-TKT C-TKT-TKT-fp C-BO-MCS C-BO-MCS-fp C-MCS-MCS C-MCS-MCS-fp cna cna-fp reciprocating reciprocating-fp}
 host_clusters=0
 for node in /sys/devices/system/node/node[0-9]*; do
   [ -e "$node" ] && host_clusters=$((host_clusters + 1))
@@ -122,6 +128,19 @@ for lock in $SWEEP_LOCKS; do
     echo "error: SWEEP_LOCKS entry '$lock' is not a registry lock (see $BENCH --list)" >&2
     exit 1
   fi
+done
+
+# Descriptor coverage cross-check: every family=compact lock in the registry
+# (and its -fp twin) must be on the contention-sweep axis, so a compact lock
+# added to the descriptor table without matrix coverage fails loudly here.
+COMPACT_LOCKS=$("$BENCH" --list-locks | awk -F'\t' '$2 == "compact" { print $1 }')
+for lock in $COMPACT_LOCKS; do
+  for want in "$lock" "$lock-fp"; do
+    if ! grep -qxF "$want" <(printf '%s\n' $SWEEP_LOCKS); then
+      echo "error: compact lock '$want' missing from SWEEP_LOCKS (descriptor says family=compact; see $BENCH --list-locks)" >&2
+      exit 1
+    fi
+  done
 done
 
 tmpdir=$(mktemp -d)

@@ -39,6 +39,8 @@ void usage(const char* argv0) {
       "  --lock NAME       lock to drive (default C-BO-MCS); repeatable\n"
       "  --all             run every registry lock\n"
       "  --list            print the registry lock names and exit\n"
+      "  --list-locks      print the full lock descriptors (family, caps,\n"
+      "                    honoured knobs) and exit\n"
       "  --list-workloads  print the registered workloads and their flags\n"
       "  --threads N       worker threads (default 4)\n"
       "  --duration S      measured seconds per run (default 1.0)\n"
@@ -61,6 +63,35 @@ void usage(const char* argv0) {
     std::fprintf(stderr, "workload %s -- %s\n", w.name, w.summary);
     for (const auto& f : w.flags)
       std::fprintf(stderr, "  %-17s [%s] %s\n", f.flag, w.name, f.help);
+  }
+}
+
+// One descriptor per line, machine-greppable:
+//   name<TAB>family<TAB>cap,cap,...<TAB>knob,knob<TAB>summary
+// scripts/run_bench_matrix.sh awks this to cross-check sweep coverage.
+void list_locks() {
+  for (const auto& d : cohort::reg::all_locks()) {
+    std::string caps;
+    auto cap = [&](bool on, const char* name) {
+      if (!on) return;
+      if (!caps.empty()) caps += ",";
+      caps += name;
+    };
+    cap(d.caps.abortable, "abortable");
+    cap(d.caps.fp_composable, "fp_composable");
+    cap(d.caps.cluster_aware, "cluster_aware");
+    cap(d.caps.reports_batch_stats, "reports_batch_stats");
+    if (caps.empty()) caps = "-";
+    std::string knobs;
+    if (d.uses_pass_limit) knobs += "pass_limit";
+    if (d.uses_fp_knobs) {
+      if (!knobs.empty()) knobs += ",";
+      knobs += "fp";
+    }
+    if (knobs.empty()) knobs = "-";
+    std::printf("%s\t%s\t%s\t%s\t%s\n", d.name.c_str(),
+                cohort::reg::to_string(d.family), caps.c_str(), knobs.c_str(),
+                d.summary.c_str());
   }
 }
 
@@ -126,6 +157,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--list") {
       for (const auto& name : cohort::reg::all_lock_names())
         std::printf("%s\n", name.c_str());
+      return 0;
+    } else if (arg == "--list-locks") {
+      list_locks();
       return 0;
     } else if (arg == "--list-workloads") {
       list_workloads();

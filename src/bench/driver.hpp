@@ -27,9 +27,9 @@ using bench_clock = std::chrono::steady_clock;
 // with_lock_type / make_any_sharded_store call).
 inline reg::lock_params lock_params_of(const bench_config& cfg) {
   return {.clusters = cfg.clusters,
-          .pass_limit = cfg.pass_limit,
-          .fission_limit = cfg.fission_limit,
-          .reengage_drains = cfg.reengage_drains};
+          .cohort = {.pass_limit = cfg.pass_limit},
+          .fp = {.fission_limit = cfg.fission_limit,
+                 .reengage_drains = cfg.reengage_drains}};
 }
 
 struct alignas(cache_line_size) thread_slot {
@@ -253,6 +253,8 @@ inline void fill_window_result(bench_result& res, const window_totals& w) {
       win.fast_acquires =
           b.counters.stats.fast_acquires - a.counters.stats.fast_acquires;
       win.fissions = b.counters.stats.fissions - a.counters.stats.fissions;
+      win.deferrals =
+          b.counters.stats.deferrals - a.counters.stats.deferrals;
       // Batch length counts only the slow (cohort) acquisitions a global
       // acquire amortises; fast acquires bypass the global lock entirely.
       const std::uint64_t slow = win.acquisitions - win.fast_acquires;

@@ -123,9 +123,9 @@ bench_result run_cs_bench(const bench_config& cfg) {
   const bool known = reg::with_lock_type(
       cfg.lock_name,
       {.clusters = cfg.clusters,
-       .pass_limit = cfg.pass_limit,
-       .fission_limit = cfg.fission_limit,
-       .reengage_drains = cfg.reengage_drains},
+       .cohort = {.pass_limit = cfg.pass_limit},
+       .fp = {.fission_limit = cfg.fission_limit,
+              .reengage_drains = cfg.reengage_drains}},
       [&](auto factory) {
         auto lock = factory();
         res = run_cs_typed(*lock, cfg);
@@ -158,6 +158,7 @@ json cohort_to_json(const reg::erased_stats& s) {
   cs.set("handoff_failures", s.handoff_failures);
   cs.set("fast_acquires", s.fast_acquires);
   cs.set("fissions", s.fissions);
+  cs.set("deferrals", s.deferrals);
   cs.set("avg_batch", s.avg_batch());
   return cs;
 }
@@ -207,16 +208,22 @@ json to_json(const bench_result& r) {
     // timeouts".
     rec.set("patience_us", r.config.patience_us);
   }
-  rec.set("pass_limit", r.config.pass_limit);
-  // The -fp hysteresis knobs in effect (resolved through flag -> env ->
-  // compiled default); meaningful only for -fp locks but recorded uniformly
-  // so sweep records sort without special cases.
+  // Tuning knobs are recorded only when the lock's registry descriptor says
+  // it honours them, so a record can never claim a pass_limit for a lock
+  // that has no such bound (and vice versa for the -fp hysteresis).
   {
-    const fastpath_policy fpp = reg::effective_fastpath(
-        {.fission_limit = r.config.fission_limit,
-         .reengage_drains = r.config.reengage_drains});
-    rec.set("fission_limit", fpp.fission_limit);
-    rec.set("reengage_drains", fpp.reengage_drains);
+    const reg::lock_descriptor* desc = reg::find_lock(r.config.lock_name);
+    if (desc == nullptr || desc->uses_pass_limit)
+      rec.set("pass_limit", r.config.pass_limit);
+    if (desc == nullptr || desc->uses_fp_knobs) {
+      // The values in effect, resolved through flag -> env -> compiled
+      // default.
+      const fastpath_policy fpp = reg::effective_fastpath(
+          {.fp = {.fission_limit = r.config.fission_limit,
+                  .reengage_drains = r.config.reengage_drains}});
+      rec.set("fission_limit", fpp.fission_limit);
+      rec.set("reengage_drains", fpp.reengage_drains);
+    }
   }
   rec.set("total_ops", r.total_ops);
   rec.set("whole_run_ops", r.whole_run_ops);
@@ -314,6 +321,7 @@ json to_json(const bench_result& r) {
       cj.set("global_acquires", w.global_acquires);
       cj.set("fast_acquires", w.fast_acquires);
       cj.set("fissions", w.fissions);
+      cj.set("deferrals", w.deferrals);
       cj.set("mean_batch", w.mean_batch);
       wj.set("cohort", std::move(cj));
     }

@@ -136,6 +136,9 @@ struct bench_window {
   // engage/disengage dynamics over time.
   std::uint64_t fast_acquires = 0;
   std::uint64_t fissions = 0;
+  // Compact-lock deltas (locks/cna.hpp; always 0 for per-cluster cohort
+  // compositions): waiters parked on the deferred remote list this window.
+  std::uint64_t deferrals = 0;
   // Mean batch length inside this window: slow acquisitions per global
   // acquire (fast acquires never touch the global lock and are excluded).
   // When the window saw acquisitions but no migration, the batch outlasted

@@ -44,6 +44,12 @@ struct cohort_stats {
   //       fast_acquires + global_acquires + local_handoffs + handoff_failures.
   std::uint64_t fast_acquires = 0;   // took the top-level CAS, no inner lock
   std::uint64_t fissions = 0;        // attempted fast, fell into the cohort
+  // Compact-lock accounting (locks/cna.hpp): waiters moved to the deferred
+  // (secondary) list because a same-socket successor was preferred.  Always
+  // 0 for the per-cluster cohort compositions -- they never reorder a
+  // queue, they instantiate one per cluster.  Not part of the acquisition
+  // identity: a deferred waiter still acquires (and is counted) later.
+  std::uint64_t deferrals = 0;
 
   // Lock migrations in the paper's sense: the global lock moved between
   // clusters.  global_acquires counts them (plus the very first acquire).
@@ -64,6 +70,7 @@ struct cohort_stats {
     handoff_failures += o.handoff_failures;
     fast_acquires += o.fast_acquires;
     fissions += o.fissions;
+    deferrals += o.deferrals;
     return *this;
   }
 };
@@ -81,6 +88,7 @@ struct alignas(destructive_interference_size) cohort_counters {
   stat_cell global_acquires;
   stat_cell local_handoffs;
   stat_cell handoff_failures;
+  stat_cell deferrals;
 
   cohort_stats snapshot() const {
     cohort_stats s;
@@ -88,6 +96,7 @@ struct alignas(destructive_interference_size) cohort_counters {
     s.global_acquires = global_acquires.get();
     s.local_handoffs = local_handoffs.get();
     s.handoff_failures = handoff_failures.get();
+    s.deferrals = deferrals.get();
     return s;
   }
   void add_into(cohort_stats& total) const {
@@ -95,12 +104,14 @@ struct alignas(destructive_interference_size) cohort_counters {
     total.global_acquires += global_acquires.get();
     total.local_handoffs += local_handoffs.get();
     total.handoff_failures += handoff_failures.get();
+    total.deferrals += deferrals.get();
   }
   void reset() {
     acquisitions.reset();
     global_acquires.reset();
     local_handoffs.reset();
     handoff_failures.reset();
+    deferrals.reset();
   }
 };
 

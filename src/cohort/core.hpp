@@ -23,16 +23,26 @@
 
 namespace cohort {
 
-// How a local lock was released, as observed by the next acquirer.  The
-// composed locks (cohort_lock, abortable_cohort_lock) also *return* this
-// from unlock(): `local` means the release handed G to a cluster-mate,
-// `global` means the global lock was released (the cohort drained or the
-// pass bound hit).  The fast-path layer (fastpath.hpp) uses that signal as
-// its re-engagement hysteresis input -- consecutive global releases mean
-// traffic has drained enough for the single-CAS fast path to pay again.
+// How a lock was released.  Every registry lock's unlock() returns this --
+// it is the one piece of the unlock contract the composition layers consume.
+//
+// For the cohort transformations (cohort_lock, abortable_cohort_lock) the
+// value is also what the next acquirer observes: `local` means the release
+// handed G to a cluster-mate, `global` means the global lock was released
+// (the cohort drained or the pass bound hit).  The compact NUMA locks (CNA,
+// Reciprocating) report `local` for any in-queue handoff and `global` when
+// the lock was actually freed.  Plain locks (MCS, TATAS, pthread, ...) have
+// no handoff concept and always report `none`.
+//
+// The fast-path layer (fastpath.hpp) keys its re-engagement hysteresis off
+// consecutive `global` releases: traffic has drained enough for the
+// single-CAS fast path to pay again.  `none` releases carry no drain
+// information and never occur under the fast path (plain locks are not
+// fp-composable).
 enum class release_kind : std::uint8_t {
   global,  // previous holder released the global lock: acquire G yourself
   local,   // previous holder kept G: you inherit ownership of G
+  none,    // plain lock: no handoff/drain semantics to report
 };
 
 // ---- timeouts -------------------------------------------------------------
@@ -55,10 +65,12 @@ inline bool expired(deadline d) {
 // A thread-oblivious lock usable as the cohort global lock.  No
 // per-acquisition context: ownership state that must travel between threads
 // lives inside the lock (e.g. the oblivious MCS lock's current queue node).
+// unlock()'s release_kind::none return is ignored here -- the cohort
+// transformation derives its own release kind from the local lock.
 template <typename G>
 concept global_lock = requires(G g) {
   { g.lock() } -> std::same_as<void>;
-  { g.unlock() } -> std::same_as<void>;
+  g.unlock();
   requires G::is_thread_oblivious;
 };
 
@@ -98,16 +110,24 @@ concept abortable_cohort_local_lock =
       } -> std::same_as<std::optional<release_kind>>;
     };
 
-// A fully composed cohort lock, as the fast-path layer (fastpath.hpp)
-// consumes it: context-based lock/unlock where unlock reports whether the
-// release was a local handoff or a global release.  Both cohort_lock and
-// abortable_cohort_lock model this.
+// What the fast-path layer (fastpath.hpp) consumes: context-based
+// lock/unlock where unlock reports a meaningful release kind (local handoff
+// vs global/drained release) to drive the re-engagement hysteresis.  The
+// cohort transformations model this, and so do the compact NUMA locks (CNA,
+// Reciprocating) -- nothing here assumes per-cluster structure.
 template <typename C>
-concept composed_cohort_lock = requires(C c, typename C::context ctx) {
+concept fp_composable_lock = requires(C c, typename C::context ctx) {
   { c.lock(ctx) } -> std::same_as<void>;
   { c.unlock(ctx) } -> std::same_as<release_kind>;
-  { c.clusters() } -> std::same_as<unsigned>;
 };
+
+// A fully composed cohort lock: fp-composable plus the per-cluster shape.
+// Both cohort_lock and abortable_cohort_lock model this.
+template <typename C>
+concept composed_cohort_lock =
+    fp_composable_lock<C> && requires(C c) {
+      { c.clusters() } -> std::same_as<unsigned>;
+    };
 
 // ---- empty context --------------------------------------------------------
 

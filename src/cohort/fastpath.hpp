@@ -49,6 +49,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 
 #include "cohort/cohort_lock.hpp"
 #include "cohort/core.hpp"
@@ -75,7 +76,11 @@ struct fastpath_stats {
   std::uint64_t gate_timeouts = 0;  // abortable: gave up waiting on the gate
 };
 
-template <composed_cohort_lock Inner>
+// Inner can be any fp_composable_lock (core.hpp): the cohort compositions,
+// but equally the compact single-word locks (cna_lock, reciprocating_lock)
+// -- the fast path only needs context-based lock/unlock and a release_kind
+// that says "the lock actually drained" for its re-engagement hysteresis.
+template <fp_composable_lock Inner>
 class fissile_lock {
  public:
   using inner_lock = Inner;
@@ -87,9 +92,12 @@ class fissile_lock {
 
   fissile_lock() = default;
 
-  explicit fissile_lock(pass_policy policy, unsigned clusters = 0,
-                        fastpath_policy fp = {})
-      : fp_(fp), inner_(policy, clusters) {}
+  // The fast-path knobs come first; everything after is forwarded to the
+  // inner lock's constructor (pass_policy + clusters for the cohort
+  // compositions, pass_policy for CNA, nothing for reciprocating).
+  template <typename... Args>
+  explicit fissile_lock(fastpath_policy fp, Args&&... args)
+      : fp_(fp), inner_(std::forward<Args>(args)...) {}
 
   fissile_lock(const fissile_lock&) = delete;
   fissile_lock& operator=(const fissile_lock&) = delete;
@@ -151,12 +159,24 @@ class fissile_lock {
     return engaged_.load(std::memory_order_relaxed);
   }
 
-  unsigned clusters() const noexcept { return inner_.clusters(); }
+  // Cohort-composition plumbing, present exactly when the inner lock has it
+  // (compact inners have no clusters, no global lock, no local locks).
+  unsigned clusters() const noexcept
+    requires composed_cohort_lock<Inner>
+  {
+    return inner_.clusters();
+  }
   const fastpath_policy& fastpath() const noexcept { return fp_; }
   Inner& inner() noexcept { return inner_; }
-  auto& global() noexcept { return inner_.global(); }
+  auto& global() noexcept
+    requires requires(Inner& i) { i.global(); }
+  {
+    return inner_.global();
+  }
   template <typename F>
-  void for_each_local(F&& f) {
+  void for_each_local(F&& f)
+    requires requires(Inner& i, F&& g) { i.for_each_local(g); }
+  {
     inner_.for_each_local(static_cast<F&&>(f));
   }
 

@@ -18,8 +18,10 @@
 #include "cohort/cohort_lock.hpp"
 #include "cohort/fastpath.hpp"
 #include "locks/clh.hpp"
+#include "locks/cna.hpp"
 #include "locks/mcs.hpp"
 #include "locks/park.hpp"
+#include "locks/reciprocating.hpp"
 #include "locks/tatas.hpp"
 #include "locks/ticket.hpp"
 
@@ -54,5 +56,11 @@ using c_mcs_mcs_fp_lock = fissile_lock<c_mcs_mcs_lock>;
 using c_park_mcs_fp_lock = fissile_lock<c_park_mcs_lock>;
 using a_c_bo_bo_fp_lock = fissile_lock<a_c_bo_bo_lock>;
 using a_c_bo_clh_fp_lock = fissile_lock<a_c_bo_clh_lock>;
+
+// The compact single-word NUMA locks (locks/cna.hpp, locks/reciprocating.hpp)
+// compose with the same fast path: fp_composable_lock is all fissile_lock
+// requires, and both report release_kind::global exactly when they drain.
+using cna_fp_lock = fissile_lock<cna_lock>;
+using reciprocating_fp_lock = fissile_lock<reciprocating_lock>;
 
 }  // namespace cohort

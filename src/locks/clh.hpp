@@ -101,11 +101,12 @@ class clh_lock {
     ctx.taken_pred = pred;
   }
 
-  void unlock(context& ctx) {
+  release_kind unlock(context& ctx) {
     using namespace clh_detail;
     ctx.mine->word.store(tag_global_release, std::memory_order_release);
     ctx.mine = ctx.taken_pred;  // standard CLH node recycling
     ctx.taken_pred = nullptr;
+    return release_kind::none;
   }
 
   bool is_locked() const {
@@ -170,11 +171,12 @@ class aclh_lock {
 
   void lock(context& ctx) { (void)try_lock(ctx, deadline_never()); }
 
-  void unlock(context& ctx) {
+  release_kind unlock(context& ctx) {
     using namespace clh_detail;
     ctx.mine->word.store(tag_global_release, std::memory_order_release);
     ctx.mine = ctx.taken_pred;
     ctx.taken_pred = nullptr;
+    return release_kind::none;
   }
 
  private:

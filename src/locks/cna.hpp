@@ -1,0 +1,236 @@
+// CNA: Compact NUMA-Aware locks (Dice & Kogan, EuroSys'19;
+// arXiv:1810.05600) -- the post-cohort answer to the same problem the
+// paper's C-*-* compositions solve.  Where lock cohorting instantiates one
+// local lock per cluster plus a global lock, CNA keeps the *single-word*
+// MCS footprint and gets NUMA-awareness by reordering the one queue: the
+// releasing thread scans the main queue for a waiter on its own socket,
+// moves the remote waiters it skipped onto a secondary list, and hands the
+// lock over locally.  When no same-socket waiter exists -- or the
+// pass_policy starvation bound trips -- the secondary list is spliced back
+// in front of the main queue and the lock moves to another socket.
+//
+// Shape of the state:
+//   * tail_            the one lock word (MCS tail), the only CAS target.
+//   * sec_head_/sec_tail_, batch_   holder-protected plain fields: only the
+//     current holder reads or writes them, and the grant-word release ->
+//     acquire edge (or the freeing CAS -> tail exchange edge for a fresh
+//     acquirer) carries them between consecutive holders -- the same idiom
+//     as oblivious_mcs_lock::current_.
+//   * counters_        relaxed stat cells, holder-incremented, sampled
+//     concurrently by benchmark coordinators (util/stat_cell.hpp).
+//
+// Grant protocol: each waiter spins on its own node's grant word.  The
+// value carries the batch classification (started a new batch vs inherited
+// a same-socket batch) so acquirer-side stats stay single-writer.
+//
+// The deferral scan only walks the *linked* portion of the queue: an
+// arrival that has swapped the tail but not yet linked its predecessor ends
+// the scan early (treated as "no same-socket waiter"), which costs at most
+// one unnecessary batch boundary -- never a lost node.
+//
+// unlock() reports release_kind like the cohort compositions do, so
+// fissile_lock<cna_lock> composes: `local` for any in-queue handoff (the
+// lock stayed populated), `global` only when the lock was actually freed --
+// exactly the drained-traffic signal the fast path's re-engagement
+// hysteresis wants.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "cohort/cohort_lock.hpp"
+#include "cohort/core.hpp"
+#include "numa/topology.hpp"
+#include "util/align.hpp"
+#include "util/spin.hpp"
+
+namespace cohort {
+
+class cna_lock {
+ public:
+  struct qnode {
+    std::atomic<qnode*> next{nullptr};
+    std::atomic<std::uint32_t> grant{grant_wait};
+    unsigned cluster = 0;
+  };
+  struct context {
+    qnode node;
+  };
+
+  cna_lock() = default;
+  // The cohort pass_policy doubles as CNA's starvation bound: the number of
+  // consecutive same-socket handoffs before deferred remote waiters are
+  // force-admitted.  limit 0 degenerates to plain MCS order (no
+  // preference); unbounded_pass reproduces the unbounded variant.
+  explicit cna_lock(pass_policy policy) : policy_(policy) {}
+
+  cna_lock(const cna_lock&) = delete;
+  cna_lock& operator=(const cna_lock&) = delete;
+
+  void lock(context& ctx) {
+    qnode* me = &ctx.node;
+    me->next.store(nullptr, std::memory_order_relaxed);
+    me->grant.store(grant_wait, std::memory_order_relaxed);
+    me->cluster = numa::thread_cluster();
+    qnode* pred = tail_.exchange(me, std::memory_order_acq_rel);
+    if (pred == nullptr) {
+      // Fresh acquire: the freeing CAS released with an empty secondary
+      // list, so only batch_ needs resetting.
+      batch_ = 0;
+      ++counters_.acquisitions;
+      ++counters_.global_acquires;
+      return;
+    }
+    pred->next.store(me, std::memory_order_release);
+    std::uint32_t g;
+    spin_until([&] {
+      g = me->grant.load(std::memory_order_acquire);
+      return g != grant_wait;
+    });
+    ++counters_.acquisitions;
+    if (g == grant_batch) {
+      ++counters_.local_handoffs;  // same-socket batch continues
+    } else {
+      ++counters_.global_acquires;  // new batch: fresh socket or bound hit
+    }
+  }
+
+  release_kind unlock(context& ctx) {
+    qnode* me = &ctx.node;
+    qnode* succ = me->next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      if (sec_head_ == nullptr) {
+        qnode* expected = me;
+        if (tail_.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed))
+          return release_kind::global;  // queue empty: actually freed
+        // A successor swapped the tail but has not linked yet.
+        spin_until([&] {
+          return (succ = me->next.load(std::memory_order_acquire)) != nullptr;
+        });
+      } else {
+        // Main queue drained but remote waiters sit deferred: promote the
+        // secondary list to be the main queue and admit its head.
+        qnode* expected = me;
+        qnode* head = sec_head_;
+        if (tail_.compare_exchange_strong(expected, sec_tail_,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+          sec_head_ = nullptr;
+          sec_tail_ = nullptr;
+          batch_ = 0;
+          head->grant.store(grant_new_batch, std::memory_order_release);
+          return release_kind::local;
+        }
+        spin_until([&] {
+          return (succ = me->next.load(std::memory_order_acquire)) != nullptr;
+        });
+      }
+    }
+    // Main queue non-empty.  Prefer a same-socket successor while the
+    // starvation bound allows, deferring the remote prefix we skip.
+    if (batch_ < policy_.limit) {
+      qnode* prev = nullptr;
+      qnode* cur = succ;
+      std::uint64_t skipped = 0;
+      while (cur->cluster != me->cluster) {
+        qnode* nxt = cur->next.load(std::memory_order_acquire);
+        if (nxt == nullptr) {
+          // End of the linked chain (or an arrival mid-link): no
+          // same-socket waiter reachable.
+          cur = nullptr;
+          break;
+        }
+        prev = cur;
+        cur = nxt;
+        ++skipped;
+      }
+      if (cur != nullptr) {
+        if (prev != nullptr) {
+          // Move the skipped remote prefix [succ..prev] to the secondary
+          // list.  The deferred nodes keep spinning on their own grant
+          // words; only future holders walk these links.
+          prev->next.store(nullptr, std::memory_order_relaxed);
+          if (sec_head_ == nullptr)
+            sec_head_ = succ;
+          else
+            sec_tail_->next.store(succ, std::memory_order_relaxed);
+          sec_tail_ = prev;
+          counters_.deferrals.add(skipped);
+        }
+        ++batch_;
+        cur->grant.store(grant_batch, std::memory_order_release);
+        return release_kind::local;
+      }
+    }
+    // Starvation bound hit or no same-socket waiter: end the batch.  Splice
+    // the deferred remote waiters back in *front* of the main queue (they
+    // have waited longest) and admit the combined head.
+    qnode* head = succ;
+    if (sec_head_ != nullptr) {
+      sec_tail_->next.store(succ, std::memory_order_relaxed);
+      head = sec_head_;
+      sec_head_ = nullptr;
+      sec_tail_ = nullptr;
+    }
+    batch_ = 0;
+    head->grant.store(grant_new_batch, std::memory_order_release);
+    return release_kind::local;
+  }
+
+  const pass_policy& policy() const noexcept { return policy_; }
+
+  // Holder-only test/diagnostic hook: waiters currently *linked* into the
+  // main queue behind the holder (excludes mid-link arrivals and the
+  // deferred list).  Only the holder may call it -- the walk relies on the
+  // queue not being granted away underneath it.
+  std::size_t queued_waiters(const context& holder_ctx) const {
+    std::size_t n = 0;
+    for (const qnode* cur =
+             holder_ctx.node.next.load(std::memory_order_acquire);
+         cur != nullptr; cur = cur->next.load(std::memory_order_acquire))
+      ++n;
+    return n;
+  }
+
+  // Batching statistics in the cohort vocabulary: a "batch" is a run of
+  // same-socket handoffs, global_acquires counts batch starts (socket
+  // migrations plus fresh acquires), deferrals counts waiters parked on the
+  // secondary list.  Exact at quiescence, sampleable mid-run.
+  cohort_stats stats() const {
+    cohort_stats s;
+    counters_.add_into(s);
+    return s;
+  }
+
+  void reset_stats() { counters_.reset(); }
+
+  bool is_locked() const {
+    return tail_.load(std::memory_order_acquire) != nullptr;
+  }
+
+ private:
+  // Grant-word values: the waiter's spin target starts at grant_wait; the
+  // releaser stores the batch classification.
+  static constexpr std::uint32_t grant_wait = 0;
+  static constexpr std::uint32_t grant_new_batch = 1;  // you start a batch
+  static constexpr std::uint32_t grant_batch = 2;      // same-socket handoff
+
+  // Line 0: the lock word every arrival CASes.
+  alignas(destructive_interference_size) std::atomic<qnode*> tail_{nullptr};
+
+  // Line 1: holder-protected queue-surgery state.  Plain fields: the grant
+  // release->acquire edge hands them from holder to holder.
+  alignas(destructive_interference_size) qnode* sec_head_ = nullptr;
+  qnode* sec_tail_ = nullptr;
+  std::uint64_t batch_ = 0;
+  pass_policy policy_{};
+
+  // Own line: sampled concurrently by coordinators (cohort_counters is
+  // interference-aligned itself).
+  cohort_counters counters_{};
+};
+
+}  // namespace cohort

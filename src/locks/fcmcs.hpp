@@ -83,7 +83,7 @@ class fc_mcs_lock {
     spin_until([&] { return me->granted.load(std::memory_order_acquire); });
   }
 
-  void unlock(context& ctx) {
+  release_kind unlock(context& ctx) {
     qnode* me = ctx.req.assigned.load(std::memory_order_relaxed);
     qnode* succ = me->next.load(std::memory_order_acquire);
     if (succ == nullptr) {
@@ -92,7 +92,7 @@ class fc_mcs_lock {
                                         std::memory_order_release,
                                         std::memory_order_relaxed)) {
         me->owner->release(me);
-        return;
+        return release_kind::none;
       }
       spin_until([&] {
         return (succ = me->next.load(std::memory_order_acquire)) != nullptr;
@@ -100,6 +100,7 @@ class fc_mcs_lock {
     }
     succ->granted.store(true, std::memory_order_release);
     me->owner->release(me);
+    return release_kind::none;
   }
 
  private:

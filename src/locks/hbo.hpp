@@ -45,10 +45,13 @@ class hbo_lock {
   // Abortable by definition (the paper's A-HBO simply returns failure).
   bool try_lock(deadline d) { return try_lock_impl(d); }
 
-  void unlock() { word_.store(free_word, std::memory_order_release); }
+  release_kind unlock() {
+    word_.store(free_word, std::memory_order_release);
+    return release_kind::none;
+  }
 
   void lock(context&) { lock(); }
-  void unlock(context&) { unlock(); }
+  release_kind unlock(context&) { return unlock(); }
 
   bool is_locked() const {
     return word_.load(std::memory_order_acquire) != free_word;

@@ -97,11 +97,12 @@ class hclh_lock {
     ctx.pred = gpred;
   }
 
-  void unlock(context& ctx) {
+  release_kind unlock(context& ctx) {
     ctx.mine->word.fetch_and(~smw_bit, std::memory_order_release);
     unref(ctx.pred);
     ctx.mine = nullptr;
     ctx.pred = nullptr;
+    return release_kind::none;
   }
 
  private:

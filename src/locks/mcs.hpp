@@ -42,7 +42,7 @@ class mcs_lock {
     }
   }
 
-  void unlock(context& ctx) {
+  release_kind unlock(context& ctx) {
     qnode* me = &ctx.node;
     qnode* succ = me->next.load(std::memory_order_acquire);
     if (succ == nullptr) {
@@ -50,13 +50,14 @@ class mcs_lock {
       if (tail_.compare_exchange_strong(expected, nullptr,
                                         std::memory_order_release,
                                         std::memory_order_relaxed))
-        return;
+        return release_kind::none;
       // A successor swapped the tail but has not linked yet.
       spin_until([&] {
         return (succ = me->next.load(std::memory_order_acquire)) != nullptr;
       });
     }
     succ->granted.store(true, std::memory_order_release);
+    return release_kind::none;
   }
 
   bool is_locked() const {
@@ -168,7 +169,7 @@ class oblivious_mcs_lock {
     current_ = me;
   }
 
-  void unlock() {
+  release_kind unlock() {
     gnode* me = current_;
     current_ = nullptr;
     gnode* succ = me->next.load(std::memory_order_acquire);
@@ -178,7 +179,7 @@ class oblivious_mcs_lock {
                                         std::memory_order_release,
                                         std::memory_order_relaxed)) {
         me->owner->release(me);
-        return;
+        return release_kind::none;
       }
       spin_until([&] {
         return (succ = me->next.load(std::memory_order_acquire)) != nullptr;
@@ -186,10 +187,11 @@ class oblivious_mcs_lock {
     }
     succ->granted.store(true, std::memory_order_release);
     me->owner->release(me);
+    return release_kind::none;
   }
 
   void lock(context&) { lock(); }
-  void unlock(context&) { unlock(); }
+  release_kind unlock(context&) { return unlock(); }
 
   bool is_locked() const {
     return tail_.load(std::memory_order_acquire) != nullptr;

@@ -56,12 +56,13 @@ class park_lock {
                                          std::memory_order_relaxed);
   }
 
-  void unlock() {
+  release_kind unlock() {
     if (word_.exchange(0, std::memory_order_release) == 2) futex_wake_one();
+    return release_kind::none;
   }
 
   void lock(context&) { lock(); }
-  void unlock(context&) { unlock(); }
+  release_kind unlock(context&) { return unlock(); }
 
   bool is_locked() const {
     return word_.load(std::memory_order_acquire) != 0;

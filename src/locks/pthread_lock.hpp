@@ -21,10 +21,13 @@ class pthread_lock {
 
   void lock() { pthread_mutex_lock(&mutex_); }
   bool try_lock() { return pthread_mutex_trylock(&mutex_) == 0; }
-  void unlock() { pthread_mutex_unlock(&mutex_); }
+  release_kind unlock() {
+    pthread_mutex_unlock(&mutex_);
+    return release_kind::none;
+  }
 
   void lock(context&) { lock(); }
-  void unlock(context&) { unlock(); }
+  release_kind unlock(context&) { return unlock(); }
 
  private:
   pthread_mutex_t mutex_;

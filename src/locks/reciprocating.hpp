@@ -1,0 +1,199 @@
+// Reciprocating locks (Dice & Kogan, arXiv:2501.02380) -- the 2025 entry in
+// the registry's 2012->2025 NUMA-lock design study.  Like CNA it is a
+// single-word lock; unlike CNA it needs *no* cluster count and no queue
+// surgery.  Arriving threads push themselves LIFO onto an entry segment
+// hanging off the one lock word.  When the holder's current admission wave
+// is exhausted, it detaches the accumulated entry segment in one swap and
+// admits it as the next wave, which then drains in arrival-reversed order
+// (the LIFO push makes the newest arrival the wave's head).  Admission
+// direction therefore alternates between accumulation (newest-last) and
+// drain (newest-first) -- the "reciprocating" motion -- and every waiter is
+// admitted within two waves of its arrival, so no starvation bound knob is
+// needed at all.
+//
+// The NUMA story is statistical rather than structural: threads that
+// arrived close together in time -- under contention, typically a burst
+// from the socket that owns the cache line -- drain as one wave, giving
+// cohort-style batching without per-cluster locks, cluster ids, or a
+// pass_limit.
+//
+// Space: one word in the lock, one qnode per thread (reused across
+// acquisitions -- the releaser reads everything it needs from the grantee's
+// node *before* granting, so a node is dead the instant its owner observes
+// the grant).  Constant space per thread, independent of how many locks
+// exist: the paper's headline claim, checked by a static_assert below and
+// the wave-order unit tests.
+//
+// Word encoding (arrivals_):
+//   0               free
+//   1 (locked_tag)  held, no accumulated arrivals
+//   else            held; pointer to the newest node of the entry segment
+//
+// Grant encoding (per-node spin word): pointer to the remainder of the wave
+// (the nodes this grantee must admit before detaching a new segment), with
+// bit 0 set = granted, bit 1 set = wave continuation (vs wave start).  Node
+// alignment keeps both bits free.
+//
+// unlock() reports release_kind in the registry's unified vocabulary:
+// `local` for any handoff (within a wave or opening a new one), `global`
+// only when the lock was actually freed, so fissile_lock<reciprocating_lock>
+// re-engages its fast path exactly when traffic drains.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "cohort/cohort_lock.hpp"
+#include "cohort/core.hpp"
+#include "util/align.hpp"
+#include "util/spin.hpp"
+
+namespace cohort {
+
+class reciprocating_lock {
+ public:
+  struct qnode {
+    std::atomic<std::uintptr_t> grant{0};
+    qnode* next = nullptr;  // published by the arrival CAS (release)
+  };
+  struct context {
+    qnode node;
+    qnode* wave = nullptr;  // remainder of the admission wave; set by lock()
+  };
+
+  reciprocating_lock() = default;
+  reciprocating_lock(const reciprocating_lock&) = delete;
+  reciprocating_lock& operator=(const reciprocating_lock&) = delete;
+
+  void lock(context& ctx) {
+    qnode* me = &ctx.node;
+    me->grant.store(0, std::memory_order_relaxed);
+    std::uintptr_t cur = arrivals_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur == word_free) {
+        if (arrivals_.compare_exchange_weak(cur, locked_tag,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+          ctx.wave = nullptr;  // fresh acquire: no wave to drain
+          ++counters_.acquisitions;
+          ++counters_.global_acquires;
+          return;
+        }
+      } else {
+        // Held: prepend to the entry segment.  The segment chain terminates
+        // at the node whose next is null (the oldest arrival).
+        me->next = cur == locked_tag ? nullptr
+                                     : reinterpret_cast<qnode*>(cur);
+        if (arrivals_.compare_exchange_weak(
+                cur, reinterpret_cast<std::uintptr_t>(me),
+                std::memory_order_release, std::memory_order_relaxed)) {
+          std::uintptr_t g;
+          spin_until([&] {
+            g = me->grant.load(std::memory_order_acquire);
+            return g != 0;
+          });
+          ctx.wave = reinterpret_cast<qnode*>(g & ~grant_mask);
+          ++counters_.acquisitions;
+          if ((g & grant_wave_bit) != 0) {
+            ++counters_.local_handoffs;  // admitted mid-wave
+          } else {
+            ++counters_.global_acquires;  // head of a new wave
+          }
+          return;
+        }
+      }
+    }
+  }
+
+  release_kind unlock(context& ctx) {
+    if (ctx.wave != nullptr) {
+      // Drain the current wave: admit the next node, handing it the rest.
+      // Read the grantee's chain link *before* granting -- after the grant
+      // store the grantee may reuse its node for another acquisition.
+      qnode* nxt = ctx.wave;
+      qnode* rest = nxt->next;
+      ctx.wave = nullptr;
+      nxt->grant.store(reinterpret_cast<std::uintptr_t>(rest) | grant_bit |
+                           grant_wave_bit,
+                       std::memory_order_release);
+      return release_kind::local;
+    }
+    // Wave exhausted: detach whatever accumulated while it drained and
+    // admit it as the next wave, or free the lock if nothing arrived.
+    std::uintptr_t cur = arrivals_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur == locked_tag) {
+        if (arrivals_.compare_exchange_weak(cur, word_free,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed))
+          return release_kind::global;  // actually freed
+      } else {
+        // Swap the entry segment out, leaving the lock held-but-empty; its
+        // newest arrival becomes the wave head (arrival-reversed drain).
+        if (arrivals_.compare_exchange_weak(cur, locked_tag,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+          qnode* head = reinterpret_cast<qnode*>(cur);
+          qnode* rest = head->next;
+          head->grant.store(reinterpret_cast<std::uintptr_t>(rest) |
+                                grant_bit,
+                            std::memory_order_release);
+          return release_kind::local;
+        }
+      }
+    }
+  }
+
+  // Wave statistics in the cohort vocabulary: global_acquires counts wave
+  // starts (plus fresh acquires), local_handoffs counts within-wave
+  // admissions, so avg_batch() is the mean wave size.  Exact at quiescence,
+  // sampleable mid-run.
+  cohort_stats stats() const {
+    cohort_stats s;
+    counters_.add_into(s);
+    return s;
+  }
+
+  void reset_stats() { counters_.reset(); }
+
+  // Holder-only test/diagnostic hook: length of the accumulated entry
+  // segment.  Safe while no grant can occur (the caller holds the lock, or
+  // coordinates with the holder) -- segment nodes are stable until granted.
+  std::size_t entry_segment_length() const {
+    std::uintptr_t cur = arrivals_.load(std::memory_order_acquire);
+    if (cur == word_free || cur == locked_tag) return 0;
+    std::size_t n = 0;
+    for (const qnode* q = reinterpret_cast<const qnode*>(cur); q != nullptr;
+         q = q->next)
+      ++n;
+    return n;
+  }
+
+  bool is_locked() const {
+    return arrivals_.load(std::memory_order_acquire) != word_free;
+  }
+
+ private:
+  static constexpr std::uintptr_t word_free = 0;
+  static constexpr std::uintptr_t locked_tag = 1;
+  static constexpr std::uintptr_t grant_bit = 1;       // granted
+  static constexpr std::uintptr_t grant_wave_bit = 2;  // within-wave admit
+  static constexpr std::uintptr_t grant_mask = grant_bit | grant_wave_bit;
+  static_assert(alignof(qnode) >= 4, "grant word steals two pointer bits");
+
+  // The one lock word.
+  alignas(destructive_interference_size) std::atomic<std::uintptr_t>
+      arrivals_{word_free};
+
+  // Sampled concurrently by coordinators; interference-aligned itself.
+  cohort_counters counters_{};
+};
+
+// Constant-space claim, pinned at compile time: a thread's entire footprint
+// is one context regardless of contention or lock count.
+static_assert(sizeof(reciprocating_lock::context) <=
+                  4 * sizeof(std::uintptr_t),
+              "reciprocating context must stay a few words");
+
+}  // namespace cohort

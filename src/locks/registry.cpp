@@ -23,56 +23,40 @@ fastpath_policy effective_fastpath(const lock_params& lp) {
     fp.fission_limit = v;
   if (const std::uint32_t v = env_u32("COHORT_REENGAGE_DRAINS"); v != 0)
     fp.reengage_drains = v;
-  if (lp.fission_limit != 0) fp.fission_limit = lp.fission_limit;
-  if (lp.reengage_drains != 0) fp.reengage_drains = lp.reengage_drains;
+  if (lp.fp.fission_limit != 0) fp.fission_limit = lp.fp.fission_limit;
+  if (lp.fp.reengage_drains != 0) fp.reengage_drains = lp.fp.reengage_drains;
   return fp;
 }
 
-const std::vector<std::string>& all_lock_names() {
-  static const std::vector<std::string> names = {
-#define COHORT_REGISTRY_NAME(NAME, TYPE, ARGS) NAME,
-      COHORT_REGISTRY_FOR_EACH_LOCK(COHORT_REGISTRY_NAME)
-#undef COHORT_REGISTRY_NAME
-  };
-  return names;
+namespace detail {
+
+resolved_params resolve(const lock_params& lp) {
+  return {effective_clusters(lp), pass_policy{lp.cohort.pass_limit},
+          effective_fastpath(lp)};
 }
 
-const std::vector<std::string>& cohort_lock_names() {
-  static const std::vector<std::string> names = {
-      "C-BO-BO",      "C-TKT-TKT",    "C-BO-MCS",     "C-TKT-MCS",
-      "C-MCS-MCS",    "C-PARK-MCS",   "A-C-BO-BO",    "A-C-BO-CLH",
-      "C-BO-BO-fp",   "C-TKT-TKT-fp", "C-BO-MCS-fp",  "C-TKT-MCS-fp",
-      "C-MCS-MCS-fp", "C-PARK-MCS-fp", "A-C-BO-BO-fp", "A-C-BO-CLH-fp"};
-  return names;
-}
+}  // namespace detail
 
-const std::vector<std::string>& abortable_lock_names() {
-  // Everything with a bounded-patience acquisition path: the paper's Figure 6
-  // locks plus the TATAS family, whose try_lock(deadline) is abortable by
-  // construction, and the fast-path variants of the abortable cohort locks.
-  static const std::vector<std::string> names = {
-      "TATAS",     "BO",        "Fib-BO",      "A-CLH",        "HBO",
-      "HBO-tuned", "A-C-BO-BO", "A-C-BO-CLH",  "A-C-BO-BO-fp",
-      "A-C-BO-CLH-fp"};
-  return names;
-}
-
-const std::vector<std::string>& table_lock_names() {
-  static const std::vector<std::string> names = {
-      "pthread",   "Fib-BO",    "MCS",      "HBO",       "HBO-tuned",
-      "FC-MCS",    "C-BO-BO",   "C-TKT-TKT", "C-BO-MCS", "C-TKT-MCS",
-      "C-MCS-MCS"};
-  return names;
-}
-
-bool is_lock_name(const std::string& name) {
-  for (const auto& n : all_lock_names())
-    if (n == name) return true;
-  return false;
+const char* to_string(lock_family f) {
+  switch (f) {
+    case lock_family::plain:
+      return "plain";
+    case lock_family::queue:
+      return "queue";
+    case lock_family::cohort:
+      return "cohort";
+    case lock_family::compact:
+      return "compact";
+    case lock_family::fp_composite:
+      return "fp-composite";
+  }
+  return "?";
 }
 
 namespace {
 
+// The any_lock adapter over a concrete lock type.  Capability answers come
+// from the shared detail:: traits so they match the descriptors exactly.
 template <typename Lock>
 class lock_adapter final : public any_lock {
  public:
@@ -82,12 +66,11 @@ class lock_adapter final : public any_lock {
   const std::string& name() const override { return name_; }
 
   bool abortable() const override {
-    return requires(Lock& l, ctx_t& c, deadline d) { l.try_lock(c, d); } ||
-           requires(Lock& l, deadline d) { l.try_lock(d); };
+    return detail::lock_is_abortable<Lock>();
   }
 
   std::optional<erased_stats> stats() const override {
-    if constexpr (requires(const Lock& l) { l.stats(); }) {
+    if constexpr (detail::lock_reports_stats<Lock>()) {
       // abortable_stats slices down to its cohort_stats base.
       return erased_stats(lock_->stats());
     } else {
@@ -102,7 +85,9 @@ class lock_adapter final : public any_lock {
   void destroy_context(void* p) override { delete static_cast<ctx_t*>(p); }
 
   void do_lock(void* p) override { lock_->lock(*static_cast<ctx_t*>(p)); }
-  void do_unlock(void* p) override { lock_->unlock(*static_cast<ctx_t*>(p)); }
+  release_kind do_unlock(void* p) override {
+    return lock_->unlock(*static_cast<ctx_t*>(p));
+  }
 
   bool do_try_lock(void* p, deadline d) override {
     ctx_t& c = *static_cast<ctx_t*>(p);
@@ -130,16 +115,91 @@ class lock_adapter final : public any_lock {
   std::unique_ptr<Lock> lock_;
 };
 
+// Builds one runtime descriptor from one compile-time registry row.
+template <typename Maker>
+lock_descriptor describe(const detail::entry<Maker>& e) {
+  using lock_t = typename detail::entry<Maker>::lock_type;
+  lock_descriptor d;
+  d.name = e.name;
+  d.family = e.family;
+  d.caps.abortable = detail::lock_is_abortable<lock_t>();
+  d.caps.fp_composable = e.fp_composable;
+  d.caps.cluster_aware = e.cluster_aware;
+  d.caps.reports_batch_stats = detail::lock_reports_stats<lock_t>();
+  d.uses_pass_limit = e.uses_pass_limit;
+  d.uses_fp_knobs = e.uses_fp_knobs;
+  d.summary = e.summary;
+  d.make = [name = d.name, maker = e.make](
+               const lock_params& lp) -> std::unique_ptr<any_lock> {
+    return std::make_unique<lock_adapter<lock_t>>(name,
+                                                  maker(detail::resolve(lp)));
+  };
+  return d;
+}
+
 }  // namespace
+
+const std::vector<lock_descriptor>& all_locks() {
+  static const std::vector<lock_descriptor> descs = [] {
+    std::vector<lock_descriptor> v;
+    std::apply([&](const auto&... e) { (v.push_back(describe(e)), ...); },
+               detail::entries());
+    return v;
+  }();
+  return descs;
+}
+
+const lock_descriptor* find_lock(const std::string& name) {
+  for (const auto& d : all_locks())
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+const std::vector<std::string>& all_lock_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const auto& d : all_locks()) v.push_back(d.name);
+    return v;
+  }();
+  return names;
+}
+
+const std::vector<std::string>& cohort_lock_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const auto& d : all_locks())
+      if (d.caps.reports_batch_stats) v.push_back(d.name);
+    return v;
+  }();
+  return names;
+}
+
+const std::vector<std::string>& abortable_lock_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const auto& d : all_locks())
+      if (d.caps.abortable) v.push_back(d.name);
+    return v;
+  }();
+  return names;
+}
+
+const std::vector<std::string>& table_lock_names() {
+  static const std::vector<std::string> names = {
+      "pthread",   "Fib-BO",    "MCS",      "HBO",       "HBO-tuned",
+      "FC-MCS",    "C-BO-BO",   "C-TKT-TKT", "C-BO-MCS", "C-TKT-MCS",
+      "C-MCS-MCS"};
+  return names;
+}
+
+bool is_lock_name(const std::string& name) {
+  return find_lock(name) != nullptr;
+}
 
 std::unique_ptr<any_lock> make_lock(const std::string& name,
                                     const lock_params& lp) {
-  std::unique_ptr<any_lock> result;
-  with_lock_type(name, lp, [&](auto factory) {
-    using lock_t = typename decltype(factory())::element_type;
-    result = std::make_unique<lock_adapter<lock_t>>(name, factory());
-  });
-  return result;
+  const lock_descriptor* d = find_lock(name);
+  return d != nullptr ? d->make(lp) : nullptr;
 }
 
 }  // namespace cohort::reg

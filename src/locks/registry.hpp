@@ -3,7 +3,11 @@
 // so harnesses, examples and future workloads can say "C-BO-MCS" instead of
 // spelling out a template instantiation.
 //
-// Two layers:
+// The registry is descriptor-based: every lock is one `detail::entry` in the
+// compile-time table below -- name, family, capability flags, which tuning
+// knobs it honours, a one-line summary, and a factory over the resolved
+// parameters.  Everything else is derived from that single row:
+//
 //  * with_lock_type(name, params, fn)  -- compile-time dispatch.  fn is a
 //    generic callable invoked with a factory `() -> std::unique_ptr<LockType>`;
 //    use this when the hot loop should be monomorphised (the benchmark
@@ -11,12 +15,25 @@
 //  * make_lock(name, params)           -- a type-erased any_lock with virtual
 //    lock/unlock and heap-allocated per-thread contexts; use this when a
 //    uniform runtime handle matters more than the last nanosecond.
+//  * all_locks()                       -- runtime lock_descriptor metadata:
+//    what `cohort_bench --list-locks` prints, what scripts and the
+//    registry-completeness tests cross-check against.
+//
+// Capability flags that a mismatched declaration could silently break
+// (abortable, reports_batch_stats) are *computed* from the lock type with
+// the same requires-expressions the any_lock adapter uses, so the metadata
+// cannot drift from the behaviour.  Flags the type system cannot see
+// (cluster_aware) are declared per entry.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <tuple>
+#include <type_traits>
 #include <vector>
 
 #include "cohort/locks.hpp"
@@ -27,23 +44,67 @@
 
 namespace cohort::reg {
 
-struct lock_params {
-  unsigned clusters = 0;           // 0 = ask numa::system_topology()
-  std::uint64_t pass_limit = 64;   // cohort may-pass-local bound (§3.7)
-  // Fast-path hysteresis for the -fp locks (cohort/fastpath.hpp).  0 means
-  // "default": the COHORT_FISSION_LIMIT / COHORT_REENGAGE_DRAINS
-  // environment variables when set (so long-lived consumers like the
-  // server tune without new flags), else the compiled 8/4.  A literal 0 is
-  // not reachable -- disengaging after zero failures is the same machine
-  // as limit 1.
+// ---- construction parameters ------------------------------------------------
+
+// Cohort-transformation knobs (cohort_lock and the CNA starvation bound).
+struct cohort_knobs {
+  std::uint64_t pass_limit = 64;  // may-pass-local bound (paper §3.7)
+};
+
+// Fast-path hysteresis for the -fp locks (cohort/fastpath.hpp).  0 means
+// "default": the COHORT_FISSION_LIMIT / COHORT_REENGAGE_DRAINS environment
+// variables when set (so long-lived consumers like the server tune without
+// new flags), else the compiled 8/4.  A literal 0 is not reachable --
+// disengaging after zero failures is the same machine as limit 1.
+struct fastpath_knobs {
   std::uint32_t fission_limit = 0;
   std::uint32_t reengage_drains = 0;
+};
+
+// Per-family sub-structs: a lock only reads the knobs its family honours
+// (lock_descriptor::uses_pass_limit / uses_fp_knobs say which), and JSON
+// records only report honoured knobs.
+struct lock_params {
+  unsigned clusters = 0;  // 0 = ask numa::system_topology()
+  cohort_knobs cohort{};
+  fastpath_knobs fp{};
 };
 
 // The fastpath_policy the -fp registry entries will be constructed with,
 // after the default chain above resolves.  Exposed so records (JSON) can
 // report the effective values rather than the request.
 fastpath_policy effective_fastpath(const lock_params& lp);
+
+// ---- descriptor metadata ----------------------------------------------------
+
+enum class lock_family : std::uint8_t {
+  plain,         // centralised spin/system locks (TATAS, BO, TKT, pthread...)
+  queue,         // FIFO queue locks (MCS, CLH, HCLH, FC-MCS)
+  cohort,        // the paper's C-*-* / A-C-*-* compositions
+  compact,       // single-word NUMA locks (CNA, Reciprocating)
+  fp_composite,  // fissile_lock<Inner> fast-path wrappers ("-fp")
+};
+
+const char* to_string(lock_family f);
+
+struct lock_caps {
+  bool abortable = false;           // bounded-patience try_lock
+  bool fp_composable = false;       // valid Inner for fissile_lock
+  bool cluster_aware = false;       // consults the NUMA topology
+  bool reports_batch_stats = false; // exposes cohort_stats counters
+};
+
+class any_lock;
+
+struct lock_descriptor {
+  std::string name;
+  lock_family family{};
+  lock_caps caps{};
+  bool uses_pass_limit = false;  // honours lock_params::cohort
+  bool uses_fp_knobs = false;    // honours lock_params::fp
+  std::string summary;           // one line for --list-locks
+  std::function<std::unique_ptr<any_lock>(const lock_params&)> make;
+};
 
 namespace detail {
 
@@ -52,69 +113,256 @@ inline unsigned effective_clusters(const lock_params& lp) {
   return lp.clusters != 0 ? lp.clusters : numa::system_topology().clusters();
 }
 
-}  // namespace detail
+// lock_params with every default chain resolved; what entry makers consume.
+struct resolved_params {
+  unsigned clusters;
+  pass_policy pp;
+  fastpath_policy fpp;
+};
 
-// The single source of truth for the registry: every lock appears exactly
-// once as X(name, type, ctor-args).  Both the with_lock_type dispatch chain
-// and all_lock_names() in registry.cpp expand this table, so a lock added
-// here shows up everywhere (CLI, harness, tests) at once.  Constructor
-// arguments may use `k` (effective cluster count) and `pp` (pass policy).
-#define COHORT_REGISTRY_FOR_EACH_LOCK(X)           \
-  X("pthread", pthread_lock, ())                   \
-  X("TATAS", tas_spin_lock, ())                    \
-  X("BO", bo_lock, ())                             \
-  X("Fib-BO", fib_bo_lock, ())                     \
-  X("TKT", ticket_lock, ())                        \
-  X("MCS", mcs_lock, ())                           \
-  X("CLH", clh_lock, ())                           \
-  X("A-CLH", aclh_lock, ())                        \
-  X("HBO", hbo_lock, (hbo_microbench_tuning()))    \
-  X("HBO-tuned", hbo_lock, (hbo_memcached_tuning())) \
-  X("HCLH", hclh_lock, (k))                        \
-  X("FC-MCS", fc_mcs_lock, (k))                    \
-  X("C-BO-BO", c_bo_bo_lock, (pp, k))              \
-  X("C-TKT-TKT", c_tkt_tkt_lock, (pp, k))          \
-  X("C-BO-MCS", c_bo_mcs_lock, (pp, k))            \
-  X("C-TKT-MCS", c_tkt_mcs_lock, (pp, k))          \
-  X("C-MCS-MCS", c_mcs_mcs_lock, (pp, k))          \
-  X("C-PARK-MCS", c_park_mcs_lock, (pp, k))        \
-  X("A-C-BO-BO", a_c_bo_bo_lock, (pp, k))          \
-  X("A-C-BO-CLH", a_c_bo_clh_lock, (pp, k))        \
-  X("C-BO-BO-fp", c_bo_bo_fp_lock, (pp, k, fpp))        \
-  X("C-TKT-TKT-fp", c_tkt_tkt_fp_lock, (pp, k, fpp))    \
-  X("C-BO-MCS-fp", c_bo_mcs_fp_lock, (pp, k, fpp))      \
-  X("C-TKT-MCS-fp", c_tkt_mcs_fp_lock, (pp, k, fpp))    \
-  X("C-MCS-MCS-fp", c_mcs_mcs_fp_lock, (pp, k, fpp))    \
-  X("C-PARK-MCS-fp", c_park_mcs_fp_lock, (pp, k, fpp))  \
-  X("A-C-BO-BO-fp", a_c_bo_bo_fp_lock, (pp, k, fpp))    \
-  X("A-C-BO-CLH-fp", a_c_bo_clh_fp_lock, (pp, k, fpp))
+resolved_params resolve(const lock_params& lp);
+
+// Capability detection shared by the descriptor builder and the any_lock
+// adapter -- one definition, so the two can never disagree.
+template <typename Lock>
+constexpr bool lock_is_abortable() {
+  return requires(Lock& l, typename Lock::context& c, deadline d) {
+           l.try_lock(c, d);
+         } || requires(Lock& l, deadline d) { l.try_lock(d); };
+}
+
+template <typename Lock>
+constexpr bool lock_reports_stats() {
+  return requires(const Lock& l) { l.stats(); };
+}
+
+// One registry row.  Maker is a captureless lambda
+// `(const resolved_params&) -> std::unique_ptr<Lock>`; the lock type is
+// recovered from its return type wherever it is needed.
+template <typename Maker>
+struct entry {
+  const char* name;
+  lock_family family;
+  bool fp_composable;
+  bool cluster_aware;
+  bool uses_pass_limit;
+  bool uses_fp_knobs;
+  const char* summary;
+  Maker make;
+
+  using lock_type =
+      typename std::invoke_result_t<Maker, const resolved_params&>::
+          element_type;
+};
+
+// The single source of truth: every lock appears exactly once, in the order
+// the paper's evaluation introduces them, followed by the post-cohort
+// compact locks and the -fp composites.  with_lock_type, all_locks(), the
+// name lists and make_lock all walk this tuple.
+inline const auto& entries() {
+  static const auto table = std::tuple{
+      // -- plain -------------------------------------------------------------
+      entry{"pthread", lock_family::plain, false, false, false, false,
+            "pthread_mutex_t baseline",
+            [](const resolved_params&) {
+              return std::make_unique<pthread_lock>();
+            }},
+      entry{"TATAS", lock_family::plain, false, false, false, false,
+            "test-and-test-and-set spin lock",
+            [](const resolved_params&) {
+              return std::make_unique<tas_spin_lock>();
+            }},
+      entry{"BO", lock_family::plain, false, false, false, false,
+            "TATAS with exponential backoff",
+            [](const resolved_params&) { return std::make_unique<bo_lock>(); }},
+      entry{"Fib-BO", lock_family::plain, false, false, false, false,
+            "TATAS with Fibonacci backoff",
+            [](const resolved_params&) {
+              return std::make_unique<fib_bo_lock>();
+            }},
+      entry{"TKT", lock_family::plain, false, false, false, false,
+            "FIFO ticket lock",
+            [](const resolved_params&) {
+              return std::make_unique<ticket_lock>();
+            }},
+      // -- queue -------------------------------------------------------------
+      entry{"MCS", lock_family::queue, false, false, false, false,
+            "MCS queue lock, explicit qnode",
+            [](const resolved_params&) { return std::make_unique<mcs_lock>(); }},
+      entry{"CLH", lock_family::queue, false, false, false, false,
+            "CLH implicit-queue lock",
+            [](const resolved_params&) { return std::make_unique<clh_lock>(); }},
+      entry{"A-CLH", lock_family::queue, false, false, false, false,
+            "abortable CLH (timeout by marking the node)",
+            [](const resolved_params&) {
+              return std::make_unique<aclh_lock>();
+            }},
+      entry{"HBO", lock_family::plain, false, true, false, false,
+            "hierarchical backoff (microbenchmark tuning)",
+            [](const resolved_params&) {
+              return std::make_unique<hbo_lock>(hbo_microbench_tuning());
+            }},
+      entry{"HBO-tuned", lock_family::plain, false, true, false, false,
+            "hierarchical backoff (memcached tuning)",
+            [](const resolved_params&) {
+              return std::make_unique<hbo_lock>(hbo_memcached_tuning());
+            }},
+      entry{"HCLH", lock_family::queue, false, true, false, false,
+            "hierarchical CLH, per-cluster splicing",
+            [](const resolved_params& rp) {
+              return std::make_unique<hclh_lock>(rp.clusters);
+            }},
+      entry{"FC-MCS", lock_family::queue, false, true, false, false,
+            "flat-combining MCS",
+            [](const resolved_params& rp) {
+              return std::make_unique<fc_mcs_lock>(rp.clusters);
+            }},
+      // -- cohort (paper §3) -------------------------------------------------
+      entry{"C-BO-BO", lock_family::cohort, true, true, true, false,
+            "cohort: global BO, local BO (§3.1)",
+            [](const resolved_params& rp) {
+              return std::make_unique<c_bo_bo_lock>(rp.pp, rp.clusters);
+            }},
+      entry{"C-TKT-TKT", lock_family::cohort, true, true, true, false,
+            "cohort: global ticket, local ticket (§3.2)",
+            [](const resolved_params& rp) {
+              return std::make_unique<c_tkt_tkt_lock>(rp.pp, rp.clusters);
+            }},
+      entry{"C-BO-MCS", lock_family::cohort, true, true, true, false,
+            "cohort: global BO, local MCS (§3.3)",
+            [](const resolved_params& rp) {
+              return std::make_unique<c_bo_mcs_lock>(rp.pp, rp.clusters);
+            }},
+      entry{"C-TKT-MCS", lock_family::cohort, true, true, true, false,
+            "cohort: global ticket, local MCS (§3.5)",
+            [](const resolved_params& rp) {
+              return std::make_unique<c_tkt_mcs_lock>(rp.pp, rp.clusters);
+            }},
+      entry{"C-MCS-MCS", lock_family::cohort, true, true, true, false,
+            "cohort: global MCS, local MCS (§3.4)",
+            [](const resolved_params& rp) {
+              return std::make_unique<c_mcs_mcs_lock>(rp.pp, rp.clusters);
+            }},
+      entry{"C-PARK-MCS", lock_family::cohort, true, true, true, false,
+            "cohort: global futex-park, local MCS (blocking hybrid)",
+            [](const resolved_params& rp) {
+              return std::make_unique<c_park_mcs_lock>(rp.pp, rp.clusters);
+            }},
+      entry{"A-C-BO-BO", lock_family::cohort, true, true, true, false,
+            "abortable cohort: global BO, local BO (§3.6.1)",
+            [](const resolved_params& rp) {
+              return std::make_unique<a_c_bo_bo_lock>(rp.pp, rp.clusters);
+            }},
+      entry{"A-C-BO-CLH", lock_family::cohort, true, true, true, false,
+            "abortable cohort: global BO, local A-CLH (§3.6.2)",
+            [](const resolved_params& rp) {
+              return std::make_unique<a_c_bo_clh_lock>(rp.pp, rp.clusters);
+            }},
+      // -- compact (post-cohort single-word NUMA locks) ----------------------
+      entry{"cna", lock_family::compact, true, true, true, false,
+            "Compact NUMA-Aware lock: one-word MCS, same-socket handoff,"
+            " deferred remote list (arXiv:1810.05600)",
+            [](const resolved_params& rp) {
+              return std::make_unique<cna_lock>(rp.pp);
+            }},
+      entry{"reciprocating", lock_family::compact, true, false, false, false,
+            "Reciprocating lock: LIFO entry segment, alternating admission"
+            " waves, constant space (arXiv:2501.02380)",
+            [](const resolved_params&) {
+              return std::make_unique<reciprocating_lock>();
+            }},
+      // -- fp composites (cohort/fastpath.hpp) -------------------------------
+      entry{"C-BO-BO-fp", lock_family::fp_composite, false, true, true, true,
+            "C-BO-BO behind a fissile fast path",
+            [](const resolved_params& rp) {
+              return std::make_unique<c_bo_bo_fp_lock>(rp.fpp, rp.pp,
+                                                       rp.clusters);
+            }},
+      entry{"C-TKT-TKT-fp", lock_family::fp_composite, false, true, true, true,
+            "C-TKT-TKT behind a fissile fast path",
+            [](const resolved_params& rp) {
+              return std::make_unique<c_tkt_tkt_fp_lock>(rp.fpp, rp.pp,
+                                                         rp.clusters);
+            }},
+      entry{"C-BO-MCS-fp", lock_family::fp_composite, false, true, true, true,
+            "C-BO-MCS behind a fissile fast path",
+            [](const resolved_params& rp) {
+              return std::make_unique<c_bo_mcs_fp_lock>(rp.fpp, rp.pp,
+                                                        rp.clusters);
+            }},
+      entry{"C-TKT-MCS-fp", lock_family::fp_composite, false, true, true, true,
+            "C-TKT-MCS behind a fissile fast path",
+            [](const resolved_params& rp) {
+              return std::make_unique<c_tkt_mcs_fp_lock>(rp.fpp, rp.pp,
+                                                         rp.clusters);
+            }},
+      entry{"C-MCS-MCS-fp", lock_family::fp_composite, false, true, true, true,
+            "C-MCS-MCS behind a fissile fast path",
+            [](const resolved_params& rp) {
+              return std::make_unique<c_mcs_mcs_fp_lock>(rp.fpp, rp.pp,
+                                                         rp.clusters);
+            }},
+      entry{"C-PARK-MCS-fp", lock_family::fp_composite, false, true, true,
+            true, "C-PARK-MCS behind a fissile fast path",
+            [](const resolved_params& rp) {
+              return std::make_unique<c_park_mcs_fp_lock>(rp.fpp, rp.pp,
+                                                          rp.clusters);
+            }},
+      entry{"A-C-BO-BO-fp", lock_family::fp_composite, false, true, true,
+            true, "A-C-BO-BO behind a fissile fast path",
+            [](const resolved_params& rp) {
+              return std::make_unique<a_c_bo_bo_fp_lock>(rp.fpp, rp.pp,
+                                                         rp.clusters);
+            }},
+      entry{"A-C-BO-CLH-fp", lock_family::fp_composite, false, true, true,
+            true, "A-C-BO-CLH behind a fissile fast path",
+            [](const resolved_params& rp) {
+              return std::make_unique<a_c_bo_clh_fp_lock>(rp.fpp, rp.pp,
+                                                          rp.clusters);
+            }},
+      entry{"cna-fp", lock_family::fp_composite, false, true, true, true,
+            "CNA behind a fissile fast path",
+            [](const resolved_params& rp) {
+              return std::make_unique<cna_fp_lock>(rp.fpp, rp.pp);
+            }},
+      entry{"reciprocating-fp", lock_family::fp_composite, false, false,
+            false, true, "Reciprocating behind a fissile fast path",
+            [](const resolved_params& rp) {
+              return std::make_unique<reciprocating_fp_lock>(rp.fpp);
+            }},
+  };
+  return table;
+}
+
+}  // namespace detail
 
 // Invokes fn with a zero-argument factory for the named lock type.  Returns
 // false for unknown names.  fn must be a generic callable (it is
 // instantiated once per lock type).
 template <typename Fn>
 bool with_lock_type(const std::string& name, const lock_params& lp, Fn&& fn) {
-  const unsigned k = detail::effective_clusters(lp);
-  const pass_policy pp{lp.pass_limit};
-  const fastpath_policy fpp = effective_fastpath(lp);
-  (void)k;
-  (void)pp;
-  (void)fpp;
-#define COHORT_REGISTRY_DISPATCH(NAME, TYPE, ARGS) \
-  if (name == NAME) {                              \
-    fn([=] { return std::make_unique<TYPE> ARGS; }); \
-    return true;                                   \
-  }
-  COHORT_REGISTRY_FOR_EACH_LOCK(COHORT_REGISTRY_DISPATCH)
-#undef COHORT_REGISTRY_DISPATCH
-  return false;
+  const detail::resolved_params rp = detail::resolve(lp);
+  bool found = false;
+  auto try_one = [&](const auto& e) {
+    if (found || name != e.name) return;
+    found = true;
+    fn([&] { return e.make(rp); });
+  };
+  std::apply([&](const auto&... e) { (try_one(e), ...); }, detail::entries());
+  return found;
 }
+
+// Descriptor list, one per registered lock, in registry order.
+const std::vector<lock_descriptor>& all_locks();
+// nullptr for unknown names.
+const lock_descriptor* find_lock(const std::string& name);
 
 // Canonical name list, in the order the paper's evaluation introduces them.
 const std::vector<std::string>& all_lock_names();
-// The subset that are cohort compositions (expose batching statistics).
+// The subset exposing batching statistics (caps.reports_batch_stats): the
+// cohort compositions, their -fp composites, and the compact locks.
 const std::vector<std::string>& cohort_lock_names();
-// The subset supporting bounded-patience acquisition (Figure 6's locks).
+// The subset supporting bounded-patience acquisition (caps.abortable).
 const std::vector<std::string>& abortable_lock_names();
 // The application-benchmark comparison set (the real-machine analogue of the
 // sim registry's table1_lock_names()).
@@ -171,7 +419,9 @@ class any_lock {
   context make_context() { return context(this, create_context()); }
 
   void lock(context& c) { do_lock(c.p_); }
-  void unlock(context& c) { do_unlock(c.p_); }
+  // The unified unlock contract: every registry lock reports how it
+  // released (core.hpp).  Plain and queue locks report release_kind::none.
+  release_kind unlock(context& c) { return do_unlock(c.p_); }
 
   // Bounded-patience acquisition; non-abortable locks block and return true.
   bool try_lock_for(context& c, std::chrono::nanoseconds patience) {
@@ -180,7 +430,7 @@ class any_lock {
 
   virtual const std::string& name() const = 0;
   virtual bool abortable() const = 0;
-  // Present only for cohort compositions; reads are only meaningful while
+  // Present only for stats-reporting locks; reads are only meaningful while
   // the lock is quiescent.
   virtual std::optional<erased_stats> stats() const = 0;
 
@@ -188,7 +438,7 @@ class any_lock {
   virtual void* create_context() = 0;
   virtual void destroy_context(void* p) = 0;
   virtual void do_lock(void* p) = 0;
-  virtual void do_unlock(void* p) = 0;
+  virtual release_kind do_unlock(void* p) = 0;
   virtual bool do_try_lock(void* p, deadline d) = 0;
 };
 

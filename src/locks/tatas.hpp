@@ -85,11 +85,14 @@ class tatas_lock {
     }
   }
 
-  void unlock() { locked_.store(false, std::memory_order_release); }
+  release_kind unlock() {
+    locked_.store(false, std::memory_order_release);
+    return release_kind::none;
+  }
 
   // Context-taking aliases so every lock shares one calling shape.
   void lock(context&) { lock(); }
-  void unlock(context&) { unlock(); }
+  release_kind unlock(context&) { return unlock(); }
 
   bool is_locked() const {
     return locked_.load(std::memory_order_acquire);

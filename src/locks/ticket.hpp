@@ -36,13 +36,14 @@ class ticket_lock {
                                             std::memory_order_relaxed);
   }
 
-  void unlock() {
+  release_kind unlock() {
     grant_.store(grant_.load(std::memory_order_relaxed) + 1,
                  std::memory_order_release);
+    return release_kind::none;
   }
 
   void lock(context&) { lock(); }
-  void unlock(context&) { unlock(); }
+  release_kind unlock(context&) { return unlock(); }
 
   bool is_locked() const {
     return request_.load(std::memory_order_acquire) !=

@@ -25,6 +25,10 @@ class stat_cell {
     v_.store(v_.load(std::memory_order_relaxed) - 1,
              std::memory_order_relaxed);
   }
+  void add(std::uint64_t n) {
+    v_.store(v_.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+  }
   std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
   void reset() { v_.store(0, std::memory_order_relaxed); }
 

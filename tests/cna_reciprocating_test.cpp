@@ -1,0 +1,343 @@
+// Behavioural tests of the compact NUMA locks (locks/cna.hpp,
+// locks/reciprocating.hpp): CNA's same-socket preference and its
+// pass_policy starvation bound, Reciprocating's arrival-reversed wave order
+// and constant-space claim -- all as deterministic single-outcome
+// scenarios, orchestrated by parking waiter threads on flags and watching
+// the holder-side queue-introspection hooks until each enqueue has
+// completed.  Plus mutual-exclusion sweeps over both locks and their -fp
+// twins through the registry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cohort/locks.hpp"
+#include "locks/registry.hpp"
+#include "numa/topology.hpp"
+
+namespace cohort {
+namespace {
+
+class CompactLockTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    numa::set_system_topology(numa::topology::synthetic(2));
+    numa::reset_round_robin_for_test();
+  }
+};
+
+// A waiter parked on a flag: released by the coordinator, then acquires the
+// lock, appends its tag to the shared order log (under the lock -- the lock
+// is the only synchronisation), and releases.
+template <typename Lock>
+struct tagged_waiter {
+  Lock& lock;
+  unsigned cluster;
+  char tag;
+  std::vector<char>& order;
+  std::atomic<bool> go{false};
+  std::thread thread;
+
+  tagged_waiter(Lock& l, unsigned c, char t, std::vector<char>& o)
+      : lock(l), cluster(c), tag(t), order(o) {
+    thread = std::thread([this] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      numa::set_thread_cluster(cluster);
+      typename Lock::context ctx;
+      lock.lock(ctx);
+      order.push_back(tag);
+      lock.unlock(ctx);
+    });
+  }
+  void release() { go.store(true, std::memory_order_release); }
+  void join() { thread.join(); }
+};
+
+TEST_F(CompactLockTest, CnaSoloAcquiresAreAllGlobal) {
+  numa::set_thread_cluster(0);
+  cna_lock lock;
+  cna_lock::context ctx;
+  for (int i = 0; i < 10; ++i) {
+    lock.lock(ctx);
+    EXPECT_EQ(lock.unlock(ctx), release_kind::global);
+  }
+  const cohort_stats s = lock.stats();
+  EXPECT_EQ(s.acquisitions, 10u);
+  EXPECT_EQ(s.global_acquires, 10u);
+  EXPECT_EQ(s.local_handoffs, 0u);
+  EXPECT_EQ(s.deferrals, 0u);
+}
+
+TEST_F(CompactLockTest, CnaPrefersSameSocketSuccessor) {
+  // Queue built deterministically behind the holder: remote R first, then
+  // local L.  The release must skip R, defer it, and admit L; L's release
+  // promotes the deferred list and admits R.  Single admissible outcome:
+  // L before R despite R arriving first.
+  numa::set_thread_cluster(0);
+  cna_lock lock(pass_policy{.limit = 64});
+  cna_lock::context holder;
+  lock.lock(holder);
+
+  std::vector<char> order;
+  tagged_waiter<cna_lock> r(lock, /*cluster=*/1, 'R', order);
+  tagged_waiter<cna_lock> l(lock, /*cluster=*/0, 'L', order);
+
+  r.release();
+  while (lock.queued_waiters(holder) != 1) std::this_thread::yield();
+  l.release();
+  while (lock.queued_waiters(holder) != 2) std::this_thread::yield();
+
+  EXPECT_EQ(lock.unlock(holder), release_kind::local);
+  r.join();
+  l.join();
+
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'L');
+  EXPECT_EQ(order[1], 'R');
+  const cohort_stats s = lock.stats();
+  EXPECT_EQ(s.acquisitions, 3u);
+  EXPECT_EQ(s.deferrals, 1u);       // R parked on the secondary list once
+  EXPECT_EQ(s.local_handoffs, 1u);  // L continued the holder's batch
+  // Batch starts: the holder's fresh acquire and R's forced new batch.
+  EXPECT_EQ(s.global_acquires, 2u);
+}
+
+TEST_F(CompactLockTest, CnaStarvationBoundForcesRemoteAdmission) {
+  // pass_policy{.limit = 1}: after one same-socket handoff the batch must
+  // end, so the deferred remote waiter is spliced back in *front* of the
+  // remaining local waiter.  Queue behind the holder: R (remote), L1, L2
+  // (local).  Forced order: L1 (one handoff), then R (bound hit), then L2.
+  numa::set_thread_cluster(0);
+  cna_lock lock(pass_policy{.limit = 1});
+  cna_lock::context holder;
+  lock.lock(holder);
+
+  std::vector<char> order;
+  tagged_waiter<cna_lock> r(lock, 1, 'R', order);
+  tagged_waiter<cna_lock> l1(lock, 0, '1', order);
+  tagged_waiter<cna_lock> l2(lock, 0, '2', order);
+
+  r.release();
+  while (lock.queued_waiters(holder) != 1) std::this_thread::yield();
+  l1.release();
+  while (lock.queued_waiters(holder) != 2) std::this_thread::yield();
+  l2.release();
+  while (lock.queued_waiters(holder) != 3) std::this_thread::yield();
+
+  EXPECT_EQ(lock.unlock(holder), release_kind::local);
+  r.join();
+  l1.join();
+  l2.join();
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], '1');  // same-socket preference, batch length 1
+  EXPECT_EQ(order[1], 'R');  // starvation bound: remote spliced to the front
+  EXPECT_EQ(order[2], '2');
+  const cohort_stats s = lock.stats();
+  EXPECT_EQ(s.acquisitions, 4u);
+  EXPECT_EQ(s.deferrals, 1u);
+  EXPECT_EQ(s.local_handoffs, 1u);   // only L1; the bound capped the batch
+  EXPECT_EQ(s.global_acquires, 3u);  // holder, R, L2 all started batches
+}
+
+TEST_F(CompactLockTest, ReciprocatingSoloAcquiresAreAllGlobal) {
+  numa::set_thread_cluster(0);
+  reciprocating_lock lock;
+  reciprocating_lock::context ctx;
+  for (int i = 0; i < 10; ++i) {
+    lock.lock(ctx);
+    EXPECT_EQ(lock.unlock(ctx), release_kind::global);
+  }
+  const cohort_stats s = lock.stats();
+  EXPECT_EQ(s.acquisitions, 10u);
+  EXPECT_EQ(s.global_acquires, 10u);
+  EXPECT_EQ(s.local_handoffs, 0u);
+}
+
+TEST_F(CompactLockTest, ReciprocatingWaveDrainsInArrivalReversedOrder) {
+  // A, B, C accumulate on the entry segment (in that arrival order) while
+  // the holder works.  The release detaches the segment as one wave, which
+  // must drain newest-first: C, B, A.
+  numa::set_thread_cluster(0);
+  reciprocating_lock lock;
+  reciprocating_lock::context holder;
+  lock.lock(holder);
+
+  std::vector<char> order;
+  tagged_waiter<reciprocating_lock> a(lock, 0, 'A', order);
+  tagged_waiter<reciprocating_lock> b(lock, 1, 'B', order);
+  tagged_waiter<reciprocating_lock> c(lock, 0, 'C', order);
+
+  a.release();
+  while (lock.entry_segment_length() != 1) std::this_thread::yield();
+  b.release();
+  while (lock.entry_segment_length() != 2) std::this_thread::yield();
+  c.release();
+  while (lock.entry_segment_length() != 3) std::this_thread::yield();
+
+  EXPECT_EQ(lock.unlock(holder), release_kind::local);
+  a.join();
+  b.join();
+  c.join();
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 'C');
+  EXPECT_EQ(order[1], 'B');
+  EXPECT_EQ(order[2], 'A');
+  const cohort_stats s = lock.stats();
+  EXPECT_EQ(s.acquisitions, 4u);
+  // Wave starts count as global acquires: the holder's fresh acquire and
+  // C's wave head; B and A were within-wave admissions.
+  EXPECT_EQ(s.global_acquires, 2u);
+  EXPECT_EQ(s.local_handoffs, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_batch(), 2.0);
+}
+
+TEST_F(CompactLockTest, ReciprocatingAdmissionDirectionAlternates) {
+  // Wave 1 = {C, B, A} (arrival-reversed).  While C holds, D then E arrive
+  // and accumulate.  Wave 1 keeps draining (B, A); A's release detaches the
+  // next segment, so wave 2 = {E, D} -- again arrival-reversed.  Full
+  // deterministic order: C B A E D.
+  numa::set_thread_cluster(0);
+  reciprocating_lock lock;
+  reciprocating_lock::context holder;
+  lock.lock(holder);
+
+  std::vector<char> order;
+  // C is hand-rolled: it must enqueue *last* (so it heads the wave) and
+  // then hold the lock until D and E have accumulated.
+  std::atomic<bool> c_go{false};
+  std::atomic<bool> c_may_release{false};
+  std::thread c_thread([&] {
+    while (!c_go.load(std::memory_order_acquire)) std::this_thread::yield();
+    numa::set_thread_cluster(0);
+    reciprocating_lock::context ctx;
+    lock.lock(ctx);
+    order.push_back('C');
+    while (!c_may_release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    lock.unlock(ctx);
+  });
+  tagged_waiter<reciprocating_lock> a(lock, 0, 'A', order);
+  tagged_waiter<reciprocating_lock> b(lock, 1, 'B', order);
+
+  a.release();
+  while (lock.entry_segment_length() != 1) std::this_thread::yield();
+  b.release();
+  while (lock.entry_segment_length() != 2) std::this_thread::yield();
+  c_go.store(true, std::memory_order_release);
+  while (lock.entry_segment_length() != 3) std::this_thread::yield();
+
+  lock.unlock(holder);  // wave 1 detached: C holds next
+
+  // C is in its critical section (parked on the flag); enqueue D, then E.
+  tagged_waiter<reciprocating_lock> d(lock, 0, 'D', order);
+  tagged_waiter<reciprocating_lock> e(lock, 1, 'E', order);
+  d.release();
+  while (lock.entry_segment_length() != 1) std::this_thread::yield();
+  e.release();
+  while (lock.entry_segment_length() != 2) std::this_thread::yield();
+
+  c_may_release.store(true, std::memory_order_release);
+  c_thread.join();
+  a.join();
+  b.join();
+  d.join();
+  e.join();
+
+  const std::string got(order.begin(), order.end());
+  EXPECT_EQ(got, "CBAED");
+}
+
+TEST_F(CompactLockTest, ReciprocatingContextIsConstantSpace) {
+  // The paper's headline claim: a thread's footprint is one small context,
+  // reused verbatim across acquisitions -- no per-acquisition allocation,
+  // no growth under contention.  (Compile-time bound in reciprocating.hpp.)
+  EXPECT_LE(sizeof(reciprocating_lock::context), 4 * sizeof(void*));
+  reciprocating_lock lock;
+  constexpr int kThreads = 4, kIters = 2000;
+  long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      reciprocating_lock::context ctx;  // the thread's entire footprint
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock(ctx);
+        ++counter;
+        lock.unlock(ctx);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+  EXPECT_EQ(lock.stats().acquisitions,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// Registry-level mutual-exclusion sweep: both compact locks and their -fp
+// twins, across thread counts and pass limits, counter protected only by
+// the lock under test.
+struct sweep_case {
+  const char* name;
+  unsigned threads;
+  std::uint64_t pass_limit;
+};
+
+class CompactSweepTest : public ::testing::TestWithParam<sweep_case> {
+ protected:
+  void SetUp() override {
+    numa::set_system_topology(numa::topology::synthetic(2));
+    numa::reset_round_robin_for_test();
+  }
+};
+
+TEST_P(CompactSweepTest, MutualExclusionHolds) {
+  const sweep_case& p = GetParam();
+  auto lock = reg::make_lock(
+      p.name, {.clusters = 2, .cohort = {.pass_limit = p.pass_limit}});
+  ASSERT_NE(lock, nullptr) << p.name;
+  constexpr int kIters = 1500;
+  long counter = 0;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < p.threads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(t % 2);
+      auto ctx = lock->make_context();
+      for (int i = 0; i < kIters; ++i) {
+        lock->lock(ctx);
+        ++counter;
+        lock->unlock(ctx);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<long>(p.threads) * kIters);
+  const auto s = lock->stats();
+  ASSERT_TRUE(s.has_value()) << p.name;
+  EXPECT_EQ(s->acquisitions,
+            static_cast<std::uint64_t>(p.threads) * kIters);
+  EXPECT_EQ(s->acquisitions, s->fast_acquires + s->global_acquires +
+                                 s->local_handoffs + s->handoff_failures)
+      << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CompactLocks, CompactSweepTest,
+    ::testing::Values(sweep_case{"cna", 2, 1}, sweep_case{"cna", 4, 64},
+                      sweep_case{"cna-fp", 4, 64},
+                      sweep_case{"reciprocating", 2, 64},
+                      sweep_case{"reciprocating", 4, 64},
+                      sweep_case{"reciprocating-fp", 4, 64}),
+    [](const ::testing::TestParamInfo<sweep_case>& info) {
+      std::string name = info.param.name;
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name + "_t" + std::to_string(info.param.threads) + "_p" +
+             std::to_string(info.param.pass_limit);
+    });
+
+}  // namespace
+}  // namespace cohort

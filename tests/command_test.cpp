@@ -157,6 +157,14 @@ TEST(Command, ConcurrentExecutorsAndLiveStats) {
   // cell later than the last one did, so the sums must be monotone even
   // though cross-counter identities are quiescent-only.
   command_executor sampler(*store);
+  // On an oversubscribed host the spinning workers may not have been
+  // scheduled at all yet; yield until the first operation lands so the
+  // samples (and the final quiescent check) observe real traffic.
+  for (;;) {
+    const store_snapshot s0 = sampler.stats();
+    if (s0.counters.gets + s0.counters.sets > 0) break;
+    std::this_thread::yield();
+  }
   std::uint64_t prev = 0;
   for (int i = 0; i < 200; ++i) {
     const store_snapshot s = sampler.stats();

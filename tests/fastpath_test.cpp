@@ -53,7 +53,7 @@ TEST_F(FastPathTest, SoloTrafficStaysOnFastPath) {
 }
 
 TEST_F(FastPathTest, MixedFastSlowMutualExclusion) {
-  c_bo_mcs_fp_lock lock(pass_policy{}, /*clusters=*/2);
+  c_bo_mcs_fp_lock lock(fastpath_policy{}, pass_policy{}, /*clusters=*/2);
   long counter = 0;  // non-atomic: the lock is the only synchronisation
   constexpr int kThreads = 4, kIters = 2000;
   std::vector<std::thread> threads;
@@ -79,9 +79,9 @@ TEST_F(FastPathTest, AggressiveHysteresisKeepsMutualExclusion) {
   // fission_limit 1 / reengage_drains 1 maximises engage/disengage churn:
   // every failed CAS disengages, every drained release re-engages, so fast
   // and slow acquirers constantly interleave across the transition edges.
-  c_tkt_tkt_fp_lock lock(pass_policy{.limit = 4}, 2,
-                         fastpath_policy{.fission_limit = 1,
-                                         .reengage_drains = 1});
+  c_tkt_tkt_fp_lock lock(
+      fastpath_policy{.fission_limit = 1, .reengage_drains = 1},
+      pass_policy{.limit = 4}, 2);
   long counter = 0;
   constexpr int kThreads = 4, kIters = 1500;
   std::vector<std::thread> threads;
@@ -106,9 +106,9 @@ TEST_F(FastPathTest, AggressiveHysteresisKeepsMutualExclusion) {
 
 TEST_F(FastPathTest, ContentionDisengagesThenDrainReengages) {
   numa::set_thread_cluster(0);
-  c_tkt_tkt_fp_lock lock(pass_policy{}, 2,
-                         fastpath_policy{.fission_limit = 2,
-                                         .reengage_drains = 3});
+  c_tkt_tkt_fp_lock lock(
+      fastpath_policy{.fission_limit = 2, .reengage_drains = 3},
+      pass_policy{}, 2);
   ASSERT_TRUE(lock.fast_path_engaged());
 
   // Hold the lock through the fast path, then let a second thread fission
@@ -160,7 +160,7 @@ TEST_F(FastPathTest, ContentionDisengagesThenDrainReengages) {
 
 TEST_F(FastPathTest, AbortableGateTimeoutBacksOutCleanly) {
   numa::set_thread_cluster(0);
-  a_c_bo_bo_fp_lock lock(pass_policy{}, 2);
+  a_c_bo_bo_fp_lock lock(fastpath_policy{}, pass_policy{}, 2);
 
   a_c_bo_bo_fp_lock::context holder;
   ASSERT_TRUE(lock.try_lock(holder, deadline_never()));  // fast acquire
@@ -189,7 +189,7 @@ TEST_F(FastPathTest, AbortableGateTimeoutBacksOutCleanly) {
 }
 
 TEST_F(FastPathTest, AbortableMixedStressKeepsIdentity) {
-  a_c_bo_clh_fp_lock lock(pass_policy{.limit = 8}, 2);
+  a_c_bo_clh_fp_lock lock(fastpath_policy{}, pass_policy{.limit = 8}, 2);
   std::atomic<long> completed{0};
   long counter = 0;
   constexpr int kThreads = 4, kIters = 800;

@@ -30,6 +30,82 @@ TEST_F(RealRegistryTest, NameListsAreConsistent) {
     EXPECT_TRUE(is_lock_name(name));
 }
 
+TEST_F(RealRegistryTest, DescriptorsCoverEveryName) {
+  // One descriptor per canonical name, same order, find_lock agrees.
+  ASSERT_EQ(all_locks().size(), all_lock_names().size());
+  for (std::size_t i = 0; i < all_locks().size(); ++i) {
+    const lock_descriptor& d = all_locks()[i];
+    EXPECT_EQ(d.name, all_lock_names()[i]);
+    EXPECT_EQ(find_lock(d.name), &d);
+    EXPECT_FALSE(d.summary.empty()) << d.name;
+    ASSERT_TRUE(static_cast<bool>(d.make)) << d.name;
+    // The descriptor factory is the same path make_lock takes.
+    auto lock = d.make({.clusters = 2});
+    ASSERT_NE(lock, nullptr) << d.name;
+    EXPECT_EQ(lock->name(), d.name);
+  }
+  EXPECT_EQ(find_lock("NOPE"), nullptr);
+}
+
+TEST_F(RealRegistryTest, NameListsMatchDescriptorCaps) {
+  // cohort_lock_names / abortable_lock_names are capability filters over the
+  // descriptors -- membership must match the flags exactly.
+  for (const auto& d : all_locks()) {
+    bool in_cohort = false;
+    for (const auto& n : cohort_lock_names())
+      if (n == d.name) in_cohort = true;
+    EXPECT_EQ(in_cohort, d.caps.reports_batch_stats) << d.name;
+    bool in_abortable = false;
+    for (const auto& n : abortable_lock_names())
+      if (n == d.name) in_abortable = true;
+    EXPECT_EQ(in_abortable, d.caps.abortable) << d.name;
+  }
+}
+
+TEST_F(RealRegistryTest, KnobFlagsMatchFamilies) {
+  for (const auto& d : all_locks()) {
+    // Exactly the -fp composites honour the fast-path hysteresis knobs.
+    EXPECT_EQ(d.uses_fp_knobs, d.family == lock_family::fp_composite)
+        << d.name;
+    // Cohort compositions honour pass_limit; plain and queue locks must not
+    // claim to.
+    if (d.family == lock_family::cohort) {
+      EXPECT_TRUE(d.uses_pass_limit) << d.name;
+    }
+    if (d.family == lock_family::plain || d.family == lock_family::queue) {
+      EXPECT_FALSE(d.uses_pass_limit) << d.name;
+      EXPECT_FALSE(d.caps.fp_composable) << d.name;
+      EXPECT_FALSE(d.caps.reports_batch_stats) << d.name;
+    }
+    // A composite must not itself be offered as a fast-path inner.
+    if (d.family == lock_family::fp_composite) {
+      EXPECT_FALSE(d.caps.fp_composable) << d.name;
+    }
+    // Compact locks keep batch stats by design.
+    if (d.family == lock_family::compact) {
+      EXPECT_TRUE(d.caps.reports_batch_stats) << d.name;
+      EXPECT_TRUE(d.caps.fp_composable) << d.name;
+    }
+  }
+}
+
+TEST_F(RealRegistryTest, UnlockReportsReleaseKind) {
+  // The unified unlock contract: plain and queue locks report none; every
+  // solo release of a batching lock reports global (the lock drained --
+  // nobody was waiting).
+  for (const auto& d : all_locks()) {
+    auto lock = d.make({.clusters = 2});
+    ASSERT_NE(lock, nullptr) << d.name;
+    auto ctx = lock->make_context();
+    lock->lock(ctx);
+    const release_kind k = lock->unlock(ctx);
+    if (d.caps.reports_batch_stats)
+      EXPECT_EQ(k, release_kind::global) << d.name;
+    else
+      EXPECT_EQ(k, release_kind::none) << d.name;
+  }
+}
+
 TEST_F(RealRegistryTest, UnknownNamesAreRejected) {
   for (const auto* bad : {"", "mcs", "C-BO", "C-BO-MCS ", "NOPE"}) {
     EXPECT_FALSE(is_lock_name(bad)) << bad;
@@ -40,7 +116,7 @@ TEST_F(RealRegistryTest, UnknownNamesAreRejected) {
 
 TEST_F(RealRegistryTest, EveryNameConstructs) {
   for (const auto& name : all_lock_names()) {
-    auto lock = make_lock(name, {.clusters = 2, .pass_limit = 16});
+    auto lock = make_lock(name, {.clusters = 2, .cohort = {.pass_limit = 16}});
     ASSERT_NE(lock, nullptr) << name;
     EXPECT_EQ(lock->name(), name);
     // Solo round trip.
