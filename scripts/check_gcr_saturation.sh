@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# GCR oversubscription smoke, run by CI on every push (and by hand before
+# regenerating BENCH_real.json).
+#
+# Three guarantees:
+#   1. Registry completeness (hard, environment-independent): every gcr-
+#      lock in the registry wraps a registered base (strip "gcr-", the rest
+#      must be a lock name), carries the gcr knob flag, and the expected
+#      admission set is covered -- a wrapped family added without its gcr
+#      twin, or a stray twin, fails here, not in a downstream experiment.
+#   2. Telemetry: every gcr- JSON record carries the admission gauges
+#      (active_set / active_target / parked / rotations) in the whole-run
+#      cohort block AND in every windows[] entry, plus the oversubscription
+#      factor.
+#   3. Saturation (the paper's point): at GCR_OVERSUB x the online CPU
+#      count, the gcr-wrapped lock must hold at least GCR_MIN_RATIO x the
+#      plain lock's throughput.  Admission parks the surplus so the wrapped
+#      lock sidesteps the scalability collapse the plain lock suffers; on a
+#      quiet box the ratio is far above 1, so the default bound of 1.0
+#      (CI passes slack for shared runners) is conservative.
+#
+# Environment knobs:
+#   BUILD_DIR      cmake build dir with cohort_bench      (default: build)
+#   GCR_LOCK       base lock to compare                   (default: C-BO-MCS)
+#   GCR_OVERSUB    thread multiple of online CPUs         (default: 4)
+#   GCR_MIN_RATIO  required gcr/plain throughput ratio    (default: 1.0)
+#   GCR_DURATION   measured seconds per run               (default: 1.0)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+GCR_LOCK=${GCR_LOCK:-C-BO-MCS}
+GCR_OVERSUB=${GCR_OVERSUB:-4}
+GCR_MIN_RATIO=${GCR_MIN_RATIO:-1.0}
+GCR_DURATION=${GCR_DURATION:-1.0}
+
+CLI="$BUILD_DIR/cohort_bench"
+if [ ! -x "$CLI" ]; then
+  echo "error: $CLI not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+# ---- 1. registry completeness ------------------------------------------
+# The twin set from the descriptor registry (family column), not from a
+# name pattern; --list-locks is the source of truth.
+"$CLI" --list-locks | GCR_EXPECTED_BASES="TATAS C-BO-MCS C-MCS-MCS cna reciprocating C-BO-MCS-fp C-MCS-MCS-fp cna-fp reciprocating-fp" \
+python3 -c '
+import os, sys
+
+rows = [line.rstrip("\n").split("\t") for line in sys.stdin if line.strip()]
+names = {r[0] for r in rows}
+twins = {r[0] for r in rows if len(r) > 1 and r[1] == "gcr"}
+
+bad = [n for n in twins if not n.startswith("gcr-")]
+if bad:
+    sys.exit("error: gcr-family lock(s) without the gcr- prefix: " + ", ".join(sorted(bad)))
+orphans = [n for n in twins if n[4:] not in names]
+if orphans:
+    sys.exit("error: gcr twin(s) wrapping an unregistered base: " + ", ".join(sorted(orphans)))
+noknob = [r[0] for r in rows if r[0] in twins and (len(r) < 4 or "gcr" not in r[3])]
+if noknob:
+    sys.exit("error: gcr twin(s) not honouring the gcr knobs: " + ", ".join(sorted(noknob)))
+expected = {"gcr-" + b for b in os.environ["GCR_EXPECTED_BASES"].split()}
+if twins != expected:
+    missing, stray = expected - twins, twins - expected
+    msg = []
+    if missing: msg.append("missing: " + ", ".join(sorted(missing)))
+    if stray:   msg.append("stray: " + ", ".join(sorted(stray)))
+    sys.exit("error: gcr twin set out of sync (" + "; ".join(msg) + ")")
+print(f"gcr registry completeness: ok ({len(twins)} twins)")
+'
+
+# ---- 2+3. oversubscribed throughput + telemetry shape -------------------
+ONLINE=$(nproc 2>/dev/null || echo 1)
+THREADS=$((ONLINE * GCR_OVERSUB))
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+"$CLI" --lock "$GCR_LOCK" --lock "gcr-$GCR_LOCK" --threads "$THREADS" \
+  --duration "$GCR_DURATION" --warmup 0.2 --json > "$out"
+
+GCR_LOCK="$GCR_LOCK" GCR_MIN_RATIO="$GCR_MIN_RATIO" \
+GCR_OVERSUB="$GCR_OVERSUB" python3 - "$out" <<'EOF'
+import json, os, sys
+
+with open(sys.argv[1]) as f:
+    recs = json.load(f)
+base_name = os.environ["GCR_LOCK"]
+by_lock = {r["lock"]: r for r in recs}
+plain, gcr = by_lock[base_name], by_lock["gcr-" + base_name]
+
+oversub = float(os.environ["GCR_OVERSUB"])
+for r in (plain, gcr):
+    if not r["mutual_exclusion_ok"]:
+        sys.exit(f"error: mutual exclusion violated under {r['lock']}")
+    if r["oversubscription"] < oversub:
+        sys.exit(f"error: {r['lock']} ran at oversubscription "
+                 f"{r['oversubscription']}, wanted >= {oversub}")
+
+# Telemetry shape: admission gauges in the whole-run cohort block and in
+# every window, knobs in the record.
+gauges = ("active_set", "active_target", "parked", "rotations")
+for g in gauges:
+    if g not in gcr["cohort"]:
+        sys.exit(f"error: gcr record cohort block lacks {g}")
+for w in gcr["windows"]:
+    for g in gauges:
+        if g not in w["cohort"]:
+            sys.exit(f"error: gcr windows[] entry lacks {g}")
+for k in ("gcr_min_active", "gcr_max_active", "gcr_rotation", "gcr_tune_window"):
+    if k not in gcr:
+        sys.exit(f"error: gcr record lacks knob {k}")
+if gcr["cohort"]["parked"] == 0:
+    sys.exit("error: gcr lock never parked a thread at "
+             f"{oversub}x oversubscription -- admission gate inert?")
+
+ratio = gcr["throughput_ops_s"] / max(plain["throughput_ops_s"], 1e-9)
+need = float(os.environ["GCR_MIN_RATIO"])
+print(f"{base_name:<14} {plain['throughput_ops_s']:14.0f} ops/s")
+print(f"{'gcr-' + base_name:<14} {gcr['throughput_ops_s']:14.0f} ops/s "
+      f"(parked={gcr['cohort']['parked']}, rotations={gcr['cohort']['rotations']}, "
+      f"target={gcr['cohort']['active_target']})")
+print(f"ratio {ratio:.2f}x (need >= {need})")
+if ratio < need:
+    sys.exit(f"error: gcr-{base_name} at {ratio:.2f}x of plain, "
+             f"wanted >= {need} at {oversub}x oversubscription")
+print("gcr saturation smoke: ok")
+EOF

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Dump the full real-thread benchmark matrix to a BENCH_real.json trajectory
 # file: every registry lock on the "cs" microbenchmark, a contention sweep
-# (threads = 1, 2, one-per-cluster, saturation) of the fast-path locks
-# against their baselines and TATAS -- so the low-contention fast-path win
-# and the saturation non-regression land side by side -- a fast-path
+# (threads = 1, 2, one-per-cluster, saturation, 2x and 4x oversubscription)
+# of the fast-path locks against their baselines, TATAS, and the gcr
+# admission twins -- so the low-contention fast-path win, the saturation
+# non-regression, and the oversubscription collapse-vs-admission contrast
+# land side by side -- a fast-path
 # hysteresis sweep over the fission_limit x reengage_drains knobs, a lock x
 # shard-count sweep of the "kv" application workload recorded as
 # placed/unplaced pairs (the NUMA-placement ablation: identical configs
@@ -40,10 +42,13 @@
 #   NET_SHARDS      engine shards for kvnet                (default: 4)
 #   SWEEP_LOCKS    locks for the contention sweep
 #                        (default: TATAS plus each -fp lock and its baseline,
-#                         including every family=compact lock and its twin --
-#                         cross-checked below against --list-locks)
+#                         every family=compact lock and its twin, and every
+#                         family=gcr admission twin -- cross-checked below
+#                         against --list-locks)
 #   SWEEP_THREADS  thread counts for the contention sweep
-#                        (default: "1 2 <clusters> <THREADS>", deduplicated)
+#                        (default: "1 2 <clusters> <THREADS> <2x> <4x>",
+#                         deduplicated; the oversubscribed points drive the
+#                         gcr admission ablation)
 #   FP_HYST_LOCK      lock for the hysteresis sweep (default: C-TKT-TKT-fp)
 #   FP_FISSION_LIMITS fission_limit axis             (default: "2 8 32")
 #   FP_REENGAGE_DRAINS reengage_drains axis          (default: "1 4 16")
@@ -81,16 +86,19 @@ ALLOC_ZIPF_LOCKS=${ALLOC_ZIPF_LOCKS:-pthread C-TKT-TKT}
 
 # Contention sweep axis: each fast-path lock, its non-fp baseline, and the
 # TATAS reference, at 1 thread (uncontended latency), 2 (first contention),
-# one per cluster (pure cross-cluster traffic), and saturation ($THREADS).
-# The compact (post-cohort) locks ride along so CNA / Reciprocating batching
-# lands next to the cohort compositions at every contention level.
-SWEEP_LOCKS=${SWEEP_LOCKS:-TATAS C-TKT-TKT C-TKT-TKT-fp C-BO-MCS C-BO-MCS-fp C-MCS-MCS C-MCS-MCS-fp cna cna-fp reciprocating reciprocating-fp}
+# one per cluster (pure cross-cluster traffic), saturation ($THREADS), and
+# 2x/4x oversubscription (more threads than CPUs -- where the gcr admission
+# gate earns its keep and the plain locks collapse).  The compact
+# (post-cohort) locks ride along so CNA / Reciprocating batching lands next
+# to the cohort compositions at every contention level, and the gcr twins
+# ride along so admission vs collapse lands in the same records.
+SWEEP_LOCKS=${SWEEP_LOCKS:-TATAS C-TKT-TKT C-TKT-TKT-fp C-BO-MCS C-BO-MCS-fp C-MCS-MCS C-MCS-MCS-fp cna cna-fp reciprocating reciprocating-fp gcr-TATAS gcr-C-BO-MCS gcr-C-BO-MCS-fp gcr-C-MCS-MCS gcr-C-MCS-MCS-fp gcr-cna gcr-cna-fp gcr-reciprocating gcr-reciprocating-fp}
 host_clusters=0
 for node in /sys/devices/system/node/node[0-9]*; do
   [ -e "$node" ] && host_clusters=$((host_clusters + 1))
 done
 [ "$host_clusters" -ge 1 ] || host_clusters=1
-SWEEP_THREADS=${SWEEP_THREADS:-1 2 $host_clusters $THREADS}
+SWEEP_THREADS=${SWEEP_THREADS:-1 2 $host_clusters $THREADS $((2 * THREADS)) $((4 * THREADS))}
 SWEEP_THREADS=$(printf '%s\n' $SWEEP_THREADS | awk '!seen[$0]++' | tr '\n' ' ')
 NET_THREADS=${NET_THREADS:-2 $THREADS}
 NET_THREADS=$(printf '%s\n' $NET_THREADS | awk '!seen[$0]++' | tr '\n' ' ')
@@ -141,6 +149,17 @@ for lock in $COMPACT_LOCKS; do
       exit 1
     fi
   done
+done
+
+# Same for the gcr admission twins: every family=gcr lock must be on the
+# sweep axis, so the oversubscribed thread points always carry the
+# admission-vs-collapse contrast for every wrapped family.
+GCR_LOCKS=$("$BENCH" --list-locks | awk -F'\t' '$2 == "gcr" { print $1 }')
+for lock in $GCR_LOCKS; do
+  if ! grep -qxF "$lock" <(printf '%s\n' $SWEEP_LOCKS); then
+    echo "error: gcr lock '$lock' missing from SWEEP_LOCKS (descriptor says family=gcr; see $BENCH --list-locks)" >&2
+    exit 1
+  fi
 done
 
 tmpdir=$(mktemp -d)

@@ -54,6 +54,14 @@ void usage(const char* argv0) {
       "                      COHORT_FISSION_LIMIT env, else 8)\n"
       "  --reengage-drains N -fp re-engage threshold (default:\n"
       "                      COHORT_REENGAGE_DRAINS env, else 4)\n"
+      "  --gcr-min-active N  gcr- tuner floor (default:\n"
+      "                      COHORT_GCR_MIN_ACTIVE env, else 1)\n"
+      "  --gcr-max-active N  gcr- tuner ceiling (default:\n"
+      "                      COHORT_GCR_MAX_ACTIVE env, else online CPUs)\n"
+      "  --gcr-rotation N    gcr- releases between fairness rotations\n"
+      "                      (default: COHORT_GCR_ROTATION env, else 1024)\n"
+      "  --gcr-tune-window N gcr- releases per hysteresis tuning window\n"
+      "                      (default: COHORT_GCR_TUNE_WINDOW env, else 8192)\n"
       "  --net-host H      server address for --smoke (default 127.0.0.1)\n"
       "  --net-port P      server port for --smoke (required with --smoke)\n"
       "  --no-pin          skip CPU pinning\n"
@@ -87,6 +95,10 @@ void list_locks() {
     if (d.uses_fp_knobs) {
       if (!knobs.empty()) knobs += ",";
       knobs += "fp";
+    }
+    if (d.uses_gcr_knobs) {
+      if (!knobs.empty()) knobs += ",";
+      knobs += "gcr";
     }
     if (knobs.empty()) knobs = "-";
     std::printf("%s\t%s\t%s\t%s\t%s\n", d.name.c_str(),
@@ -207,6 +219,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--reengage-drains" && parse_unsigned(next(), n) &&
                n > 0) {
       cfg.reengage_drains = static_cast<std::uint32_t>(n);
+    } else if (arg == "--gcr-min-active" && parse_unsigned(next(), n) &&
+               n > 0) {
+      cfg.gcr_min_active = static_cast<std::uint32_t>(n);
+    } else if (arg == "--gcr-max-active" && parse_unsigned(next(), n) &&
+               n > 0) {
+      cfg.gcr_max_active = static_cast<std::uint32_t>(n);
+    } else if (arg == "--gcr-rotation" && parse_unsigned(next(), n) && n > 0) {
+      cfg.gcr_rotation = static_cast<std::uint32_t>(n);
+    } else if (arg == "--gcr-tune-window" && parse_unsigned(next(), n) &&
+               n > 0) {
+      cfg.gcr_tune_window = static_cast<std::uint32_t>(n);
     } else if (arg == "--size-zipf" && parse_double(next(), d)) {
       cfg.alloc_size_zipf = d;
     } else if (arg == "--alloc-min" && parse_unsigned(next(), n) && n > 0) {

@@ -29,7 +29,11 @@ inline reg::lock_params lock_params_of(const bench_config& cfg) {
   return {.clusters = cfg.clusters,
           .cohort = {.pass_limit = cfg.pass_limit},
           .fp = {.fission_limit = cfg.fission_limit,
-                 .reengage_drains = cfg.reengage_drains}};
+                 .reengage_drains = cfg.reengage_drains},
+          .gcr = {.min_active = cfg.gcr_min_active,
+                  .max_active = cfg.gcr_max_active,
+                  .rotation_interval = cfg.gcr_rotation,
+                  .tune_window = cfg.gcr_tune_window}};
 }
 
 struct alignas(cache_line_size) thread_slot {
@@ -102,9 +106,14 @@ window_totals run_window(const bench_config& cfg, MakeBody&& make_body,
   std::atomic<unsigned> ready{0};
 
   auto worker = [&](unsigned tid) {
+    // One CPU per thread, round-robin within the cluster (slot = how many
+    // cluster-mates precede this thread): an oversubscribed run stacks
+    // threads on CPUs deterministically instead of letting the scheduler
+    // migrate the surplus, which is what makes collapse curves repeatable.
     if (cfg.pin)
-      slots[tid].pinned.store(numa::pin_thread_to_cluster(topo, tid % clusters),
-                              std::memory_order_relaxed);
+      slots[tid].pinned.store(
+          numa::pin_thread_to_cpu_slot(topo, tid % clusters, tid / clusters),
+          std::memory_order_relaxed);
     else
       numa::set_thread_cluster(tid % clusters);
 
@@ -211,6 +220,8 @@ window_totals run_window(const bench_config& cfg, MakeBody&& make_body,
 // per-thread ops, timeouts, pinning, whole-run totals, windows[]).
 inline void fill_window_result(bench_result& res, const window_totals& w) {
   res.pinned_threads = w.pinned_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  res.online_cpus = hw == 0 ? 1 : hw;
   res.elapsed_s = w.elapsed_s;
   res.per_thread_ops = w.window_ops;
   res.timeouts = w.window_timeouts;
@@ -255,6 +266,14 @@ inline void fill_window_result(bench_result& res, const window_totals& w) {
       win.fissions = b.counters.stats.fissions - a.counters.stats.fissions;
       win.deferrals =
           b.counters.stats.deferrals - a.counters.stats.deferrals;
+      // Admission telemetry: the set size and tuned target are gauges
+      // (their value *at* the closing sample), park/rotation events are
+      // deltas like every other counter.
+      win.active_set = b.counters.stats.active_set;
+      win.active_target = b.counters.stats.active_target;
+      win.parked = b.counters.stats.parked - a.counters.stats.parked;
+      win.rotations =
+          b.counters.stats.rotations - a.counters.stats.rotations;
       // Batch length counts only the slow (cohort) acquisitions a global
       // acquire amortises; fast acquires bypass the global lock entirely.
       const std::uint64_t slow = win.acquisitions - win.fast_acquires;

@@ -122,10 +122,7 @@ bench_result run_cs_bench(const bench_config& cfg) {
   bench_result res;
   const bool known = reg::with_lock_type(
       cfg.lock_name,
-      {.clusters = cfg.clusters,
-       .cohort = {.pass_limit = cfg.pass_limit},
-       .fp = {.fission_limit = cfg.fission_limit,
-              .reengage_drains = cfg.reengage_drains}},
+      detail::lock_params_of(cfg),
       [&](auto factory) {
         auto lock = factory();
         res = run_cs_typed(*lock, cfg);
@@ -159,6 +156,10 @@ json cohort_to_json(const reg::erased_stats& s) {
   cs.set("fast_acquires", s.fast_acquires);
   cs.set("fissions", s.fissions);
   cs.set("deferrals", s.deferrals);
+  cs.set("active_set", s.active_set);
+  cs.set("active_target", s.active_target);
+  cs.set("parked", s.parked);
+  cs.set("rotations", s.rotations);
   cs.set("avg_batch", s.avg_batch());
   return cs;
 }
@@ -176,6 +177,13 @@ json to_json(const bench_result& r) {
   rec.set("threads", r.config.threads);
   rec.set("clusters", r.clusters_used);
   rec.set("pinned_threads", r.pinned_threads);
+  rec.set("online_cpus", r.online_cpus);
+  // threads / online CPUs: > 1 means the run was oversubscribed (the
+  // regime the gcr- admission layer exists for).
+  rec.set("oversubscription",
+          r.online_cpus > 0 ? static_cast<double>(r.config.threads) /
+                                  static_cast<double>(r.online_cpus)
+                            : 0.0);
   rec.set("duration_s", r.config.duration_s);
   rec.set("warmup_s", r.config.warmup_s);
   rec.set("elapsed_s", r.elapsed_s);
@@ -223,6 +231,18 @@ json to_json(const bench_result& r) {
                   .reengage_drains = r.config.reengage_drains}});
       rec.set("fission_limit", fpp.fission_limit);
       rec.set("reengage_drains", fpp.reengage_drains);
+    }
+    if (desc != nullptr && desc->uses_gcr_knobs) {
+      const gcr_policy gp = reg::effective_gcr(
+          {.gcr = {.min_active = r.config.gcr_min_active,
+                   .max_active = r.config.gcr_max_active,
+                   .rotation_interval = r.config.gcr_rotation,
+                   .tune_window = r.config.gcr_tune_window}});
+      rec.set("gcr_min_active", gp.min_active);
+      // 0 = resolved to the online CPU count inside the combinator.
+      rec.set("gcr_max_active", gp.max_active);
+      rec.set("gcr_rotation", gp.rotation_interval);
+      rec.set("gcr_tune_window", gp.tune_window);
     }
   }
   rec.set("total_ops", r.total_ops);
@@ -322,6 +342,10 @@ json to_json(const bench_result& r) {
       cj.set("fast_acquires", w.fast_acquires);
       cj.set("fissions", w.fissions);
       cj.set("deferrals", w.deferrals);
+      cj.set("active_set", w.active_set);
+      cj.set("active_target", w.active_target);
+      cj.set("parked", w.parked);
+      cj.set("rotations", w.rotations);
       cj.set("mean_batch", w.mean_batch);
       wj.set("cohort", std::move(cj));
     }

@@ -38,7 +38,17 @@ struct bench_config {
   // COHORT_REENGAGE_DRAINS env, then the compiled 8/4).
   std::uint32_t fission_limit = 0;
   std::uint32_t reengage_drains = 0;
-  bool pin = true;           // pin threads to their cluster's CPUs
+  // Admission knobs for the gcr- locks (cohort/gcr.hpp); 0 = resolve through
+  // the registry default chain (COHORT_GCR_* env, then the compiled policy;
+  // max_active additionally defaults to the online CPU count).
+  std::uint32_t gcr_min_active = 0;
+  std::uint32_t gcr_max_active = 0;
+  std::uint32_t gcr_rotation = 0;
+  std::uint32_t gcr_tune_window = 0;
+  // Pin threads to CPUs of their cluster, one CPU each round-robin, so an
+  // oversubscribed run (threads > online CPUs) stacks threads on CPUs
+  // deterministically instead of leaving placement to the scheduler.
+  bool pin = true;
   // Telemetry windows over the measured interval: the coordinator samples
   // the op and cohort-batch counters snap_windows times per measured run
   // (and at the same cadence during warmup), emitting windows[] in every
@@ -139,6 +149,14 @@ struct bench_window {
   // Compact-lock deltas (locks/cna.hpp; always 0 for per-cluster cohort
   // compositions): waiters parked on the deferred remote list this window.
   std::uint64_t deferrals = 0;
+  // Admission telemetry (cohort/gcr.hpp; always 0 outside gcr- locks).
+  // active_set / active_target are *gauges* sampled at the window close;
+  // parked / rotations are event deltas over the window -- together they
+  // are the live trace of the admission state machine the tuner drives.
+  std::uint64_t active_set = 0;
+  std::uint64_t active_target = 0;
+  std::uint64_t parked = 0;
+  std::uint64_t rotations = 0;
   // Mean batch length inside this window: slow acquisitions per global
   // acquire (fast acquires never touch the global lock and are excluded).
   // When the window saw acquisitions but no migration, the batch outlasted
@@ -153,6 +171,9 @@ struct bench_result {
 
   unsigned clusters_used = 0;
   unsigned pinned_threads = 0;  // threads whose CPU affinity call succeeded
+  // Online CPU count at run time; threads / online_cpus > 1 is an
+  // oversubscribed run (the JSON record carries the ratio).
+  unsigned online_cpus = 0;
   double elapsed_s = 0.0;       // actual measured-window length
 
   std::uint64_t total_ops = 0;  // completed operations in the window

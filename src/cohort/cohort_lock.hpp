@@ -50,6 +50,15 @@ struct cohort_stats {
   // queue, they instantiate one per cluster.  Not part of the acquisition
   // identity: a deferred waiter still acquires (and is counted) later.
   std::uint64_t deferrals = 0;
+  // Admission accounting (cohort/gcr.hpp); always 0 outside a gcr<Inner>
+  // wrapper.  active_set and active_target are *gauges* (the instantaneous
+  // set size / tuned target at sample time), parked and rotations are
+  // cumulative event counters.  None participate in the acquisition
+  // identity: a parked thread still acquires (and is counted) once admitted.
+  std::uint64_t active_set = 0;     // threads currently admitted (gauge)
+  std::uint64_t active_target = 0;  // tuned admission bound (gauge)
+  std::uint64_t parked = 0;         // admission rejections that futex-parked
+  std::uint64_t rotations = 0;      // fairness grants to the oldest waiter
 
   // Lock migrations in the paper's sense: the global lock moved between
   // clusters.  global_acquires counts them (plus the very first acquire).
@@ -71,6 +80,10 @@ struct cohort_stats {
     fast_acquires += o.fast_acquires;
     fissions += o.fissions;
     deferrals += o.deferrals;
+    active_set += o.active_set;
+    active_target += o.active_target;
+    parked += o.parked;
+    rotations += o.rotations;
     return *this;
   }
 };

@@ -1,0 +1,471 @@
+// Generic Concurrency Restriction over any composable lock.
+//
+// Past the machine's sweet spot every spin-based composition collapses:
+// surplus waiters burn the cycles the holder needs, pollute its caches, and
+// lengthen the very critical sections they are waiting on.  "Avoiding
+// Scalability Collapse by Restricting Concurrency" (Dice & Kogan, 2019)
+// fixes this *outside* the lock: an admission layer splits arrivals into a
+// bounded ACTIVE set that competes for the inner lock as usual and a
+// PASSIVE set that is futex-parked, consuming no CPU at all.  Throughput
+// then tracks the active-set size, not the offered thread count -- the
+// collapse curve flattens into a plateau.
+//
+// gcr<Inner> is that layer as a combinator in the mould of
+// fissile_lock<Inner> (fastpath.hpp): Inner is any fp_composable_lock --
+// the cohort compositions, the compact locks, their -fp wraps, or bare
+// TATAS -- and is entirely unaware it is being throttled.
+//
+// Admission protocol (per ACQUISITION, not per thread: a slot is held from
+// admission to release, so threads that exit between critical sections can
+// never leak active-set capacity):
+//
+//   lock:    CAS `active_` up while it is below `target_`; on success go
+//            straight to the inner lock.  On failure enqueue a passive node
+//            (FIFO, under a tiny internal spinlock) and futex-park on the
+//            node's grant word.
+//   unlock:  holder-serialised bookkeeping (release counter, rotation due?,
+//            hysteresis tuning) happens *before* the inner release, like
+//            the cohort locks' holder-protected stat cells; then the inner
+//            unlock; then the slot is either HANDED to the oldest passive
+//            waiter (rotation, every `rotation_interval` releases -- the
+//            long-term-fairness guarantee; the donor's own next arrival
+//            faces admission and parks, which is the "retire an active
+//            thread" half) or released with `active_ -= 1`.
+//
+// Two races are closed deterministically rather than by timeout:
+//   * park-vs-release: a releaser decrements `active_` and then checks for
+//     passive waiters; a parker enqueues and then re-checks `active_` --
+//     both on seq_cst operations, so one of the two must observe the other
+//     (the classic store-buffer shape) and either the releaser wakes the
+//     new waiter or the waiter cancels itself and claims the free slot.
+//   * timeout-vs-grant: cancellation unlinks under the same list lock the
+//     granter pops under; whoever gets the lock first wins, and a loser
+//     that finds its node already popped just waits for the (imminent)
+//     grant word.
+//
+// The park timeout (gcr_policy::park_timeout_us) is a liveness *backstop*,
+// not a wake path: a waiter that times out force-admits itself past the
+// target (counted in park_timeouts), transiently overshooting; admission
+// stays closed until releases shed the overshoot.  No thread can be
+// stranded by a crashed or exited peer for longer than one timeout.
+//
+// The active-set target self-tunes by hysteresis over windowed throughput:
+// every `tune_window` releases the holder computes the release rate of the
+// closing window and hill-climbs `target_` -- keep moving the same
+// direction while the rate improves, reverse when it degrades beyond a
+// noise margin, clamp to [min_active, max_active].  All tuner state is
+// holder-serialised plain data; only the `target_` word itself is shared.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "cohort/cohort_lock.hpp"
+#include "cohort/core.hpp"
+#include "util/align.hpp"
+#include "util/futex.hpp"
+#include "util/spin.hpp"
+#include "util/stat_cell.hpp"
+
+namespace cohort {
+
+// Admission knobs.  Zero-valued fields resolve to defaults at construction.
+struct gcr_policy {
+  std::uint32_t min_active = 1;   // tuner floor (and force-admission keeps
+                                  // at least one thread live regardless)
+  std::uint32_t max_active = 0;   // tuner ceiling; 0 = one per online CPU
+  std::uint32_t rotation_interval = 1024;  // releases between fairness
+                                           // grants to the oldest waiter
+  std::uint32_t tune_window = 8192;  // releases per hysteresis window
+  std::uint32_t park_timeout_us = 10'000;  // passive-waiter liveness backstop
+};
+
+// Admission observability, alongside the inner lock's cohort_stats.
+struct gcr_stats {
+  std::uint64_t active_set = 0;     // gauge: currently admitted
+  std::uint64_t active_target = 0;  // gauge: current tuned bound
+  std::uint64_t parks = 0;          // admissions that futex-parked
+  std::uint64_t unparks = 0;        // grants delivered to parked waiters
+  std::uint64_t rotations = 0;      // grants made for fairness rotation
+  std::uint64_t park_timeouts = 0;  // backstop force-admissions
+  std::uint64_t target_moves = 0;   // hysteresis raises + lowers
+};
+
+template <fp_composable_lock Inner>
+class gcr {
+ public:
+  using inner_lock = Inner;
+
+  struct context {
+    typename Inner::context inner{};
+    // Passive-set node, linked into the FIFO list while this acquisition
+    // is parked.  grant is the futex word: 0 = waiting, 1 = admitted.
+    struct passive_node {
+      std::atomic<std::uint32_t> grant{0};
+      passive_node* prev = nullptr;
+      passive_node* next = nullptr;
+      bool queued = false;  // guarded by the list lock
+    } node;
+  };
+
+  gcr() : gcr(gcr_policy{}) {}
+
+  // The admission knobs come first; everything after is forwarded to the
+  // inner lock's constructor, exactly like fissile_lock.
+  template <typename... Args>
+  explicit gcr(gcr_policy gp, Args&&... args)
+      : gp_(resolve(gp)), inner_(std::forward<Args>(args)...) {
+    target_.store(gp_.max_active, std::memory_order_relaxed);
+    next_rotation_ = gp_.rotation_interval;
+    next_tune_ = gp_.tune_window;
+  }
+
+  gcr(const gcr&) = delete;
+  gcr& operator=(const gcr&) = delete;
+
+  void lock(context& ctx) {
+    if (!try_admit()) park_until_admitted(ctx);
+    inner_.lock(ctx.inner);
+    if constexpr (!inner_has_stats) {
+      // Stat-less inner (bare TATAS): synthesise the acquisition counters
+      // ourselves.  Holder-serialised cells -- we hold the inner lock.
+      ++acquisitions_;
+    }
+  }
+
+  // Reports the inner lock's release kind, with `none` promoted to
+  // `global`: a plain inner's release always actually frees the lock, and
+  // downstream consumers (the registry's release-kind contract) read
+  // `global` as exactly that.
+  release_kind unlock(context& ctx) {
+    // Holder-serialised bookkeeping while we still own the inner lock:
+    // plain fields, no atomics needed.
+    ++releases_;
+    bool rotate = false;
+    if (releases_ >= next_rotation_) {
+      next_rotation_ = releases_ + gp_.rotation_interval;
+      rotate = parked_now_.load(std::memory_order_relaxed) != 0;
+    }
+    maybe_tune();
+    const release_kind kind = inner_.unlock(ctx.inner);
+    // Past this point the inner lock is free; dispose of the admission slot.
+    if (rotate) {
+      if (typename context::passive_node* n = pop_waiter()) {
+        // Hand this acquisition's slot to the oldest waiter: active_ is
+        // unchanged, the wakee inherits it.  The donor's own next arrival
+        // will face a full set and park -- that is the retirement.
+        rotations_.fetch_add(1, std::memory_order_relaxed);
+        grant(n);
+        return kind == release_kind::none ? release_kind::global : kind;
+      }
+      // Everyone parked has timed out or cancelled; fall through.
+    }
+    release_slot();
+    return kind == release_kind::none ? release_kind::global : kind;
+  }
+
+  // ---- observability ------------------------------------------------------
+
+  std::uint32_t active_set() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t active_target() const {
+    return target_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t parked_now() const {
+    return parked_now_.load(std::memory_order_relaxed);
+  }
+
+  gcr_stats admission_stats() const {
+    gcr_stats s;
+    s.active_set = active_set();
+    s.active_target = active_target();
+    s.parks = parks_.load(std::memory_order_relaxed);
+    s.unparks = unparks_.load(std::memory_order_relaxed);
+    s.rotations = rotations_.load(std::memory_order_relaxed);
+    s.park_timeouts = park_timeouts_.load(std::memory_order_relaxed);
+    s.target_moves = target_moves_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // Inner cohort stats with the admission telemetry folded in.  A stat-less
+  // inner gets synthesised acquisition counters (every acquisition took the
+  // whole lock, so global_acquires == acquisitions keeps the quiescent
+  // identity and avg_batch meaningful).  Mid-run samples are race-free:
+  // every constituent is a relaxed-atomic cell.
+  cohort_stats stats() const {
+    cohort_stats s;
+    if constexpr (inner_has_stats) {
+      s = inner_.stats();
+    } else {
+      s.acquisitions = acquisitions_.get();
+      s.global_acquires = s.acquisitions;
+    }
+    s.active_set = active_set();
+    s.active_target = active_target();
+    s.parked = parks_.load(std::memory_order_relaxed);
+    s.rotations = rotations_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  const gcr_policy& admission() const noexcept { return gp_; }
+  Inner& inner() noexcept { return inner_; }
+
+  // Cohort-composition plumbing, present exactly when the inner lock has it.
+  unsigned clusters() const noexcept
+    requires composed_cohort_lock<Inner>
+  {
+    return inner_.clusters();
+  }
+  auto& global() noexcept
+    requires requires(Inner& i) { i.global(); }
+  {
+    return inner_.global();
+  }
+  template <typename F>
+  void for_each_local(F&& f)
+    requires requires(Inner& i, F&& g) { i.for_each_local(g); }
+  {
+    inner_.for_each_local(static_cast<F&&>(f));
+  }
+
+ private:
+  using passive_node = typename context::passive_node;
+
+  static constexpr bool inner_has_stats =
+      requires(const Inner& i) { i.stats(); };
+
+  static gcr_policy resolve(gcr_policy gp) {
+    if (gp.min_active == 0) gp.min_active = 1;
+    if (gp.max_active == 0) {
+      const unsigned n = std::thread::hardware_concurrency();
+      gp.max_active = n == 0 ? 1 : n;
+    }
+    if (gp.max_active < gp.min_active) gp.max_active = gp.min_active;
+    if (gp.rotation_interval == 0) gp.rotation_interval = 1;
+    if (gp.tune_window == 0) gp.tune_window = 1;
+    return gp;
+  }
+
+  // ---- admission ----------------------------------------------------------
+
+  bool try_admit() {
+    std::uint32_t a = active_.load(std::memory_order_relaxed);
+    const std::uint32_t t = target_.load(std::memory_order_relaxed);
+    while (a < t) {
+      if (active_.compare_exchange_weak(a, a + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed))
+        return true;
+    }
+    return false;
+  }
+
+  void park_until_admitted(context& ctx) {
+    passive_node& n = ctx.node;
+    for (;;) {
+      n.grant.store(0, std::memory_order_relaxed);
+      push_waiter(n);
+      parks_.fetch_add(1, std::memory_order_relaxed);
+      // Post-enqueue re-check, seq_cst against the releaser's decrement
+      // (which happens before its waiter check): either the releaser saw
+      // our node and a grant is coming, or we see its decrement here and
+      // claim the slot ourselves.  Without this a release could slip
+      // between our failed admission and our enqueue and be lost.
+      if (n.grant.load(std::memory_order_acquire) == 0 &&
+          active_.load(std::memory_order_seq_cst) <
+              target_.load(std::memory_order_relaxed)) {
+        if (try_cancel(n)) {
+          if (try_admit()) return;
+          continue;  // capacity was snatched; queue up again
+        }
+        // A granter already popped us; its grant store is imminent.
+      }
+      // Park.  The timeout is a liveness backstop against stranding (e.g.
+      // the last active thread exits with the set full), not a wake path.
+      const deadline until =
+          deadline_after(std::chrono::microseconds(gp_.park_timeout_us));
+      bool granted = false;
+      for (;;) {
+        if (n.grant.load(std::memory_order_acquire) == 1) {
+          granted = true;
+          break;
+        }
+        const auto left = until - lock_clock::now();
+        if (left <= std::chrono::nanoseconds::zero()) break;
+        futex::wait_for(n.grant, 0, left);
+      }
+      if (granted) return;  // slot transferred or reserved by the granter
+      if (try_cancel(n)) {
+        // Timed out while still queued: force admission past the target so
+        // no thread is ever stranded.  The overshoot is transient --
+        // admissions stay closed until releases shed it.
+        park_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        active_.fetch_add(1, std::memory_order_seq_cst);
+        return;
+      }
+      // Lost the cancel race to a granter: wait out the grant store.
+      spin_until([&] {
+        return n.grant.load(std::memory_order_acquire) == 1;
+      });
+      return;
+    }
+  }
+
+  void release_slot() {
+    const std::uint32_t after =
+        active_.fetch_sub(1, std::memory_order_seq_cst) - 1;
+    // Top-up: only when capacity stays open even after our own return
+    // (after + 1 < target, i.e. the set went idle-ish) and someone is
+    // parked -- a target raise or an active thread exiting.  Steady-state
+    // churn (release then immediate re-admission) never triggers this.
+    if (after + 1 < target_.load(std::memory_order_relaxed) &&
+        parked_now_.load(std::memory_order_seq_cst) != 0) {
+      if (passive_node* n = pop_waiter()) {
+        active_.fetch_add(1, std::memory_order_seq_cst);  // wakee's slot
+        grant(n);
+      }
+    }
+  }
+
+  void grant(passive_node* n) {
+    unparks_.fetch_add(1, std::memory_order_relaxed);
+    n->grant.store(1, std::memory_order_release);
+    futex::wake_one(n->grant);
+  }
+
+  // ---- passive list (FIFO, under a tiny spinlock) -------------------------
+
+  struct list_guard {
+    explicit list_guard(std::atomic<bool>& l) : l_(l) {
+      while (l_.exchange(true, std::memory_order_acquire)) {
+        spin_wait w;
+        while (l_.load(std::memory_order_relaxed)) w.spin();
+      }
+    }
+    ~list_guard() { l_.store(false, std::memory_order_release); }
+    std::atomic<bool>& l_;
+  };
+
+  void push_waiter(passive_node& n) {
+    list_guard g(list_lock_);
+    n.prev = tail_;
+    n.next = nullptr;
+    n.queued = true;
+    if (tail_)
+      tail_->next = &n;
+    else
+      head_ = &n;
+    tail_ = &n;
+    parked_now_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  void unlink(passive_node& n) {
+    if (n.prev)
+      n.prev->next = n.next;
+    else
+      head_ = n.next;
+    if (n.next)
+      n.next->prev = n.prev;
+    else
+      tail_ = n.prev;
+    n.queued = false;
+    parked_now_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  bool try_cancel(passive_node& n) {
+    list_guard g(list_lock_);
+    if (!n.queued) return false;
+    unlink(n);
+    return true;
+  }
+
+  passive_node* pop_waiter() {
+    list_guard g(list_lock_);
+    passive_node* n = head_;
+    if (n) unlink(*n);
+    return n;
+  }
+
+  // ---- hysteresis tuner (holder-serialised) -------------------------------
+
+  void maybe_tune() {
+    if (releases_ < next_tune_) return;
+    next_tune_ = releases_ + gp_.tune_window;
+    const auto now = lock_clock::now();
+    if (gp_.max_active == gp_.min_active) return;  // nothing to tune
+    if (!window_open_) {
+      window_open_ = true;
+      window_start_ = now;
+      window_releases_ = releases_;
+      return;
+    }
+    const double dt = std::chrono::duration<double>(now - window_start_).count();
+    window_start_ = now;
+    const auto done = releases_ - window_releases_;
+    window_releases_ = releases_;
+    if (dt <= 0.0) return;
+    const double rate = static_cast<double>(done) / dt;
+    // Hill climb: keep direction while the rate holds up, reverse when it
+    // degrades beyond the noise margin, always clamped to the policy bounds.
+    if (last_rate_ > 0.0 && rate < last_rate_ * degrade_margin) dir_ = -dir_;
+    last_rate_ = rate;
+    const std::uint32_t t = target_.load(std::memory_order_relaxed);
+    std::uint32_t next = t;
+    if (dir_ > 0 && t < gp_.max_active) next = t + 1;
+    if (dir_ < 0 && t > gp_.min_active) next = t - 1;
+    if (next != t) {
+      target_.store(next, std::memory_order_seq_cst);
+      target_moves_.fetch_add(1, std::memory_order_relaxed);
+      // A raise opens capacity no release will notice on its own; wake a
+      // parked waiter per fresh slot to fill it.
+      for (std::uint32_t i = t; i < next; ++i) {
+        if (parked_now_.load(std::memory_order_seq_cst) == 0) break;
+        if (passive_node* n = pop_waiter()) {
+          active_.fetch_add(1, std::memory_order_seq_cst);
+          grant(n);
+        }
+      }
+    }
+  }
+
+  // Tolerate this much window-to-window degradation before reversing.
+  static constexpr double degrade_margin = 0.98;
+
+  // Line 0: the admission words every acquisition touches.
+  alignas(destructive_interference_size) std::atomic<std::uint32_t> active_{0};
+  std::atomic<std::uint32_t> target_{1};
+
+  // Line 1: the passive list and its lock -- touched only when parking,
+  // granting, or rotating, never on the admitted hot path.
+  alignas(destructive_interference_size) std::atomic<bool> list_lock_{false};
+  passive_node* head_ = nullptr;
+  passive_node* tail_ = nullptr;
+  std::atomic<std::uint32_t> parked_now_{0};
+
+  // Line 2: multi-writer event counters (parkers and granters race here).
+  alignas(destructive_interference_size) std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> unparks_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+  std::atomic<std::uint64_t> park_timeouts_{0};
+  std::atomic<std::uint64_t> target_moves_{0};
+
+  // Line 3: holder-serialised rotation/tuner state (plain fields -- the
+  // inner lock orders every access) and the synthesised stat cell.
+  alignas(destructive_interference_size) std::uint64_t releases_ = 0;
+  std::uint64_t next_rotation_ = 1;
+  std::uint64_t next_tune_ = 1;
+  std::uint64_t window_releases_ = 0;
+  lock_clock::time_point window_start_{};
+  double last_rate_ = 0.0;
+  int dir_ = -1;  // start by probing downward: restriction is the thesis
+  bool window_open_ = false;
+  stat_cell acquisitions_{};
+
+  gcr_policy gp_{};
+  Inner inner_;
+};
+
+}  // namespace cohort

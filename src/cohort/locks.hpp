@@ -17,6 +17,7 @@
 #include "cohort/abortable.hpp"
 #include "cohort/cohort_lock.hpp"
 #include "cohort/fastpath.hpp"
+#include "cohort/gcr.hpp"
 #include "locks/clh.hpp"
 #include "locks/cna.hpp"
 #include "locks/mcs.hpp"
@@ -62,5 +63,20 @@ using a_c_bo_clh_fp_lock = fissile_lock<a_c_bo_clh_lock>;
 // requires, and both report release_kind::global exactly when they drain.
 using cna_fp_lock = fissile_lock<cna_lock>;
 using reciprocating_fp_lock = fissile_lock<reciprocating_lock>;
+
+// GCR admission wrappers (cohort/gcr.hpp): a bounded active set in front of
+// the inner lock, surplus acquirers futex-parked.  Registered as
+// "gcr-<name>"; any fp_composable_lock qualifies as the inner, including
+// bare TATAS (the combinator synthesises its stats) and the -fp composites
+// (fast path inside the admission gate).
+using gcr_tatas_lock = gcr<tas_spin_lock>;
+using gcr_c_bo_mcs_lock = gcr<c_bo_mcs_lock>;
+using gcr_c_mcs_mcs_lock = gcr<c_mcs_mcs_lock>;
+using gcr_cna_lock = gcr<cna_lock>;
+using gcr_reciprocating_lock = gcr<reciprocating_lock>;
+using gcr_c_bo_mcs_fp_lock = gcr<c_bo_mcs_fp_lock>;
+using gcr_c_mcs_mcs_fp_lock = gcr<c_mcs_mcs_fp_lock>;
+using gcr_cna_fp_lock = gcr<cna_fp_lock>;
+using gcr_reciprocating_fp_lock = gcr<reciprocating_fp_lock>;
 
 }  // namespace cohort

@@ -15,13 +15,8 @@
 
 #include "cohort/core.hpp"
 #include "util/align.hpp"
+#include "util/futex.hpp"
 #include "util/spin.hpp"
-
-#if defined(__linux__)
-#include <linux/futex.h>
-#include <sys/syscall.h>
-#include <unistd.h>
-#endif
 
 namespace cohort {
 
@@ -47,7 +42,7 @@ class park_lock {
     // Park until the word can be claimed; always leave it marked contended
     // so the releaser knows to wake someone.
     while (word_.exchange(2, std::memory_order_acquire) != 0)
-      futex_wait(2);
+      futex::wait(word_, 2);
   }
 
   bool try_lock() {
@@ -57,7 +52,8 @@ class park_lock {
   }
 
   release_kind unlock() {
-    if (word_.exchange(0, std::memory_order_release) == 2) futex_wake_one();
+    if (word_.exchange(0, std::memory_order_release) == 2)
+      futex::wake_one(word_);
     return release_kind::none;
   }
 
@@ -70,25 +66,6 @@ class park_lock {
 
  private:
   static constexpr int adaptive_spins = 256;
-
-  void futex_wait(std::uint32_t expected) {
-#if defined(__linux__)
-    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word_),
-            FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
-#else
-    // Portable fallback: yield until the word changes.
-    spin_until([&] {
-      return word_.load(std::memory_order_acquire) != expected;
-    });
-#endif
-  }
-
-  void futex_wake_one() {
-#if defined(__linux__)
-    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word_),
-            FUTEX_WAKE_PRIVATE, 1, nullptr, nullptr, 0);
-#endif
-  }
 
   alignas(cache_line_size) std::atomic<std::uint32_t> word_{0};
 };

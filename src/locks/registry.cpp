@@ -28,11 +28,29 @@ fastpath_policy effective_fastpath(const lock_params& lp) {
   return fp;
 }
 
+gcr_policy effective_gcr(const lock_params& lp) {
+  gcr_policy gp;  // compiled defaults (max_active 0 = online CPUs)
+  if (const std::uint32_t v = env_u32("COHORT_GCR_MIN_ACTIVE"); v != 0)
+    gp.min_active = v;
+  if (const std::uint32_t v = env_u32("COHORT_GCR_MAX_ACTIVE"); v != 0)
+    gp.max_active = v;
+  if (const std::uint32_t v = env_u32("COHORT_GCR_ROTATION"); v != 0)
+    gp.rotation_interval = v;
+  if (const std::uint32_t v = env_u32("COHORT_GCR_TUNE_WINDOW"); v != 0)
+    gp.tune_window = v;
+  if (lp.gcr.min_active != 0) gp.min_active = lp.gcr.min_active;
+  if (lp.gcr.max_active != 0) gp.max_active = lp.gcr.max_active;
+  if (lp.gcr.rotation_interval != 0)
+    gp.rotation_interval = lp.gcr.rotation_interval;
+  if (lp.gcr.tune_window != 0) gp.tune_window = lp.gcr.tune_window;
+  return gp;
+}
+
 namespace detail {
 
 resolved_params resolve(const lock_params& lp) {
   return {effective_clusters(lp), pass_policy{lp.cohort.pass_limit},
-          effective_fastpath(lp)};
+          effective_fastpath(lp), effective_gcr(lp)};
 }
 
 }  // namespace detail
@@ -49,6 +67,8 @@ const char* to_string(lock_family f) {
       return "compact";
     case lock_family::fp_composite:
       return "fp-composite";
+    case lock_family::gcr:
+      return "gcr";
   }
   return "?";
 }
@@ -128,6 +148,9 @@ lock_descriptor describe(const detail::entry<Maker>& e) {
   d.caps.reports_batch_stats = detail::lock_reports_stats<lock_t>();
   d.uses_pass_limit = e.uses_pass_limit;
   d.uses_fp_knobs = e.uses_fp_knobs;
+  // Derived, not declared: every gcr-family lock honours the gcr knobs and
+  // nothing else does, so the flag cannot drift from the family.
+  d.uses_gcr_knobs = e.family == lock_family::gcr;
   d.summary = e.summary;
   d.make = [name = d.name, maker = e.make](
                const lock_params& lp) -> std::unique_ptr<any_lock> {

@@ -61,19 +61,37 @@ struct fastpath_knobs {
   std::uint32_t reengage_drains = 0;
 };
 
+// Admission knobs for the gcr- locks (cohort/gcr.hpp).  0 means "default":
+// the COHORT_GCR_MIN_ACTIVE / COHORT_GCR_MAX_ACTIVE / COHORT_GCR_ROTATION /
+// COHORT_GCR_TUNE_WINDOW environment variables when set, else the compiled
+// gcr_policy defaults (max_active additionally resolving 0 to the online
+// CPU count inside the combinator).
+struct gcr_knobs {
+  std::uint32_t min_active = 0;
+  std::uint32_t max_active = 0;
+  std::uint32_t rotation_interval = 0;
+  std::uint32_t tune_window = 0;
+};
+
 // Per-family sub-structs: a lock only reads the knobs its family honours
-// (lock_descriptor::uses_pass_limit / uses_fp_knobs say which), and JSON
-// records only report honoured knobs.
+// (lock_descriptor::uses_pass_limit / uses_fp_knobs / uses_gcr_knobs say
+// which), and JSON records only report honoured knobs.
 struct lock_params {
   unsigned clusters = 0;  // 0 = ask numa::system_topology()
   cohort_knobs cohort{};
   fastpath_knobs fp{};
+  gcr_knobs gcr{};
 };
 
 // The fastpath_policy the -fp registry entries will be constructed with,
 // after the default chain above resolves.  Exposed so records (JSON) can
 // report the effective values rather than the request.
 fastpath_policy effective_fastpath(const lock_params& lp);
+
+// Likewise the gcr_policy the gcr- entries will be constructed with (before
+// the combinator's own max_active==0 -> online-CPUs resolution, which is
+// per-construction).
+gcr_policy effective_gcr(const lock_params& lp);
 
 // ---- descriptor metadata ----------------------------------------------------
 
@@ -83,6 +101,7 @@ enum class lock_family : std::uint8_t {
   cohort,        // the paper's C-*-* / A-C-*-* compositions
   compact,       // single-word NUMA locks (CNA, Reciprocating)
   fp_composite,  // fissile_lock<Inner> fast-path wrappers ("-fp")
+  gcr,           // gcr<Inner> admission wrappers ("gcr-")
 };
 
 const char* to_string(lock_family f);
@@ -102,6 +121,7 @@ struct lock_descriptor {
   lock_caps caps{};
   bool uses_pass_limit = false;  // honours lock_params::cohort
   bool uses_fp_knobs = false;    // honours lock_params::fp
+  bool uses_gcr_knobs = false;   // honours lock_params::gcr (family == gcr)
   std::string summary;           // one line for --list-locks
   std::function<std::unique_ptr<any_lock>(const lock_params&)> make;
 };
@@ -118,6 +138,7 @@ struct resolved_params {
   unsigned clusters;
   pass_policy pp;
   fastpath_policy fpp;
+  gcr_policy gp;
 };
 
 resolved_params resolve(const lock_params& lp);
@@ -329,6 +350,62 @@ inline const auto& entries() {
             false, true, "Reciprocating behind a fissile fast path",
             [](const resolved_params& rp) {
               return std::make_unique<reciprocating_fp_lock>(rp.fpp);
+            }},
+      // -- gcr admission wrappers (cohort/gcr.hpp) ---------------------------
+      // Not fp_composable: the admission gate parks surplus threads, so a
+      // fissile gate *outside* it would let fast acquirers bypass admission;
+      // compose the other way around (gcr-*-fp wraps the -fp lock inside).
+      entry{"gcr-TATAS", lock_family::gcr, false, false, false, false,
+            "TATAS behind a GCR admission gate (arXiv:1905.10818)",
+            [](const resolved_params& rp) {
+              return std::make_unique<gcr_tatas_lock>(rp.gp);
+            }},
+      entry{"gcr-C-BO-MCS", lock_family::gcr, false, true, true, false,
+            "C-BO-MCS behind a GCR admission gate",
+            [](const resolved_params& rp) {
+              return std::make_unique<gcr_c_bo_mcs_lock>(rp.gp, rp.pp,
+                                                         rp.clusters);
+            }},
+      entry{"gcr-C-MCS-MCS", lock_family::gcr, false, true, true, false,
+            "C-MCS-MCS behind a GCR admission gate",
+            [](const resolved_params& rp) {
+              return std::make_unique<gcr_c_mcs_mcs_lock>(rp.gp, rp.pp,
+                                                          rp.clusters);
+            }},
+      entry{"gcr-cna", lock_family::gcr, false, true, true, false,
+            "CNA behind a GCR admission gate",
+            [](const resolved_params& rp) {
+              return std::make_unique<gcr_cna_lock>(rp.gp, rp.pp);
+            }},
+      entry{"gcr-reciprocating", lock_family::gcr, false, false, false, false,
+            "Reciprocating behind a GCR admission gate",
+            [](const resolved_params& rp) {
+              return std::make_unique<gcr_reciprocating_lock>(rp.gp);
+            }},
+      entry{"gcr-C-BO-MCS-fp", lock_family::gcr, false, true, true, true,
+            "C-BO-MCS-fp behind a GCR admission gate",
+            [](const resolved_params& rp) {
+              return std::make_unique<gcr_c_bo_mcs_fp_lock>(rp.gp, rp.fpp,
+                                                            rp.pp,
+                                                            rp.clusters);
+            }},
+      entry{"gcr-C-MCS-MCS-fp", lock_family::gcr, false, true, true, true,
+            "C-MCS-MCS-fp behind a GCR admission gate",
+            [](const resolved_params& rp) {
+              return std::make_unique<gcr_c_mcs_mcs_fp_lock>(rp.gp, rp.fpp,
+                                                             rp.pp,
+                                                             rp.clusters);
+            }},
+      entry{"gcr-cna-fp", lock_family::gcr, false, true, true, true,
+            "cna-fp behind a GCR admission gate",
+            [](const resolved_params& rp) {
+              return std::make_unique<gcr_cna_fp_lock>(rp.gp, rp.fpp, rp.pp);
+            }},
+      entry{"gcr-reciprocating-fp", lock_family::gcr, false, false, false,
+            true, "reciprocating-fp behind a GCR admission gate",
+            [](const resolved_params& rp) {
+              return std::make_unique<gcr_reciprocating_fp_lock>(rp.gp,
+                                                                 rp.fpp);
             }},
   };
   return table;

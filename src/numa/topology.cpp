@@ -143,6 +143,23 @@ bool pin_thread_to_cluster(const topology& t, unsigned c) {
   return false;
 }
 
+bool pin_thread_to_cpu_slot(const topology& t, unsigned c, unsigned slot) {
+  const unsigned cluster = c % std::max(1u, t.clusters());
+  tls_cluster = static_cast<int>(cluster);
+#if defined(__linux__)
+  if (cluster < t.cpus.size() && !t.cpus[cluster].empty()) {
+    const auto& cpus = t.cpus[cluster];
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpus[slot % cpus.size()], &set);
+    return sched_setaffinity(0, sizeof(set), &set) == 0;
+  }
+#else
+  (void)slot;
+#endif
+  return false;
+}
+
 void reset_round_robin_for_test() {
   g_round_robin.store(0, std::memory_order_relaxed);
 }

@@ -61,6 +61,13 @@ void set_thread_cluster(unsigned c);
 // recorded either way.
 bool pin_thread_to_cluster(const topology& t, unsigned c);
 
+// Pin the calling thread to ONE CPU of cluster c: the slot-th entry of the
+// cluster's CPU list, wrapping round-robin when slot exceeds the list (the
+// oversubscribed case -- more threads than CPUs stack deterministically
+// instead of floating).  Records c as the cluster id.  Returns false when
+// pinning is impossible (synthetic topology or sched_setaffinity failure).
+bool pin_thread_to_cpu_slot(const topology& t, unsigned c, unsigned slot);
+
 // Resets the round-robin assignment counter (tests only).
 void reset_round_robin_for_test();
 

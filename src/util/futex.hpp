@@ -1,0 +1,93 @@
+// Raw futex wait/wake wrappers over a 32-bit atomic word -- the one audited
+// copy of the kernel-parking protocol, shared by the spin-then-park lock
+// (locks/park.hpp) and the GCR admission combinator's passive set
+// (cohort/gcr.hpp).
+//
+// Semantics follow the futex contract, not a condition variable's: a wait
+// returns when the word no longer holds `expected`, when another thread
+// wakes the word, or spuriously (EINTR).  Callers must therefore re-check
+// their predicate in a loop around every wait.  On non-Linux hosts the
+// calls degrade to the escalating spin/yield waiter (util/spin.hpp); the
+// protocol stays correct, only the kernel sleep is lost.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/spin.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
+#include <ctime>
+#endif
+
+namespace cohort::futex {
+
+// Sleep while `word == expected`.  May return spuriously; loop on the
+// predicate.
+inline void wait(std::atomic<std::uint32_t>& word, std::uint32_t expected) {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+          FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+#else
+  spin_until([&] {
+    return word.load(std::memory_order_acquire) != expected;
+  });
+#endif
+}
+
+// Bounded wait: sleep while `word == expected`, for at most `timeout`.
+// Returns false exactly when the kernel reported a timeout; true on a wake,
+// a value mismatch, or a spurious return -- so a false return means the
+// full timeout elapsed without a wake, and a true return still requires the
+// caller to re-check its predicate.
+inline bool wait_for(std::atomic<std::uint32_t>& word, std::uint32_t expected,
+                     std::chrono::nanoseconds timeout) {
+  if (timeout <= std::chrono::nanoseconds::zero()) return false;
+#if defined(__linux__)
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout.count() / 1'000'000'000);
+  ts.tv_nsec = static_cast<long>(timeout.count() % 1'000'000'000);
+  const long rc =
+      syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+              FUTEX_WAIT_PRIVATE, expected, &ts, nullptr, 0);
+  return !(rc == -1 && errno == ETIMEDOUT);
+#else
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  spin_wait w;
+  while (word.load(std::memory_order_acquire) == expected) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    w.spin();
+  }
+  return true;
+#endif
+}
+
+// Wake one waiter sleeping on the word.  (The non-Linux fallback has no
+// sleepers -- waiters spin on the word itself -- so there is nothing to do.)
+inline void wake_one(std::atomic<std::uint32_t>& word) {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+          FUTEX_WAKE_PRIVATE, 1, nullptr, nullptr, 0);
+#else
+  (void)word;
+#endif
+}
+
+// Wake every waiter sleeping on the word.
+inline void wake_all(std::atomic<std::uint32_t>& word) {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+          FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
+#else
+  (void)word;
+#endif
+}
+
+}  // namespace cohort::futex

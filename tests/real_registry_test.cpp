@@ -64,9 +64,22 @@ TEST_F(RealRegistryTest, NameListsMatchDescriptorCaps) {
 
 TEST_F(RealRegistryTest, KnobFlagsMatchFamilies) {
   for (const auto& d : all_locks()) {
-    // Exactly the -fp composites honour the fast-path hysteresis knobs.
-    EXPECT_EQ(d.uses_fp_knobs, d.family == lock_family::fp_composite)
+    // The fast-path hysteresis knobs are honoured by the -fp composites and
+    // by gcr wrappers whose INNER is an -fp composite (the knobs pass
+    // through the gate to the wrapped lock).
+    const bool fp_inner =
+        d.name.size() > 3 && d.name.rfind("-fp") == d.name.size() - 3;
+    EXPECT_EQ(d.uses_fp_knobs, d.family == lock_family::fp_composite ||
+                                   (d.family == lock_family::gcr && fp_inner))
         << d.name;
+    // Exactly the gcr wrappers honour the admission knobs, and an admission
+    // gate must never be offered as a fissile inner (a fast path outside the
+    // gate would bypass admission entirely).
+    EXPECT_EQ(d.uses_gcr_knobs, d.family == lock_family::gcr) << d.name;
+    if (d.family == lock_family::gcr) {
+      EXPECT_FALSE(d.caps.fp_composable) << d.name;
+      EXPECT_TRUE(d.caps.reports_batch_stats) << d.name;
+    }
     // Cohort compositions honour pass_limit; plain and queue locks must not
     // claim to.
     if (d.family == lock_family::cohort) {
@@ -163,13 +176,35 @@ TEST_F(RealRegistryTest, CohortLocksExposeStats) {
 }
 
 TEST_F(RealRegistryTest, EveryCohortCompositionHasAFastPathVariant) {
-  // The fast-path build must cover the whole cohort family: a composition
-  // added to the registry without its "-fp" twin fails here, not in a
-  // downstream latency comparison.
-  for (const auto& name : cohort_lock_names()) {
-    if (name.size() > 3 && name.rfind("-fp") == name.size() - 3) continue;
-    EXPECT_TRUE(is_lock_name(name + "-fp")) << name;
+  // The fast-path build must cover every fissile-composable lock: a
+  // composition added to the registry without its "-fp" twin fails here,
+  // not in a downstream latency comparison.  (Keyed on fp_composable, not
+  // cohort_lock_names: gcr wrappers report batch stats but deliberately
+  // refuse fissile composition.)
+  for (const auto& d : all_locks()) {
+    if (!d.caps.fp_composable) continue;
+    EXPECT_TRUE(is_lock_name(d.name + "-fp")) << d.name;
   }
+}
+
+TEST_F(RealRegistryTest, EveryGcrTwinWrapsARegisteredBase) {
+  // gcr- names are strictly twins: stripping the prefix must land on a
+  // registered lock, and the expected admission-worthy set is covered both
+  // ways (every expected base has its gcr- twin; no stray gcr- entries).
+  const std::vector<std::string> expected = {
+      "gcr-TATAS",        "gcr-C-BO-MCS",      "gcr-C-MCS-MCS",
+      "gcr-cna",          "gcr-reciprocating", "gcr-C-BO-MCS-fp",
+      "gcr-C-MCS-MCS-fp", "gcr-cna-fp",        "gcr-reciprocating-fp"};
+  std::vector<std::string> found;
+  for (const auto& d : all_locks()) {
+    if (d.family != lock_family::gcr) continue;
+    found.push_back(d.name);
+    ASSERT_GT(d.name.size(), 4u) << d.name;
+    EXPECT_EQ(d.name.substr(0, 4), "gcr-") << d.name;
+    EXPECT_TRUE(is_lock_name(d.name.substr(4)))
+        << d.name << " wraps an unregistered base";
+  }
+  EXPECT_EQ(found, expected);
 }
 
 TEST_F(RealRegistryTest, EveryNameRoundTripsUnderFourThreads) {
