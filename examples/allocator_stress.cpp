@@ -59,8 +59,8 @@ int main(int argc, char** argv) {
   // earlier locks' multi-minute runs.
   for (const auto& name : locks) {
     if (!cohort::reg::is_lock_name(name)) {
-      std::fprintf(stderr, "unknown lock '%s' (see cohort_bench --list)\n",
-                   name.c_str());
+      std::fprintf(stderr, "%s\n",
+                   cohort::reg::unknown_lock_message(name).c_str());
       return 2;
     }
   }

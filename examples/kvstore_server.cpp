@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "kvstore/command.hpp"
+#include "locks/registry.hpp"
 #include "net/server.hpp"
 #include "numa/topology.hpp"
 
@@ -120,8 +121,8 @@ int main(int argc, char** argv) {
 
   auto store = kvstore::make_any_sharded_store(lock_name, kcfg, lp);
   if (store == nullptr) {
-    std::fprintf(stderr, "unknown lock '%s' (see cohort_bench --list)\n",
-                 lock_name.c_str());
+    std::fprintf(stderr, "%s\n",
+                 cohort::reg::unknown_lock_message(lock_name).c_str());
     return 2;
   }
   if (prefill != 0) {

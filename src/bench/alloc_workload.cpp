@@ -147,8 +147,8 @@ bench_result run_alloc_bench(const bench_config& cfg) {
         run_alloc_typed(arenas, cfg, res);
       });
   if (!known)
-    throw std::invalid_argument("bench: unknown lock name '" + cfg.lock_name +
-                                "'");
+    throw std::invalid_argument("bench: " +
+                                reg::unknown_lock_message(cfg.lock_name));
   return res;
 }
 

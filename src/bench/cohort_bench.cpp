@@ -39,8 +39,10 @@ void usage(const char* argv0) {
       "  --lock NAME       lock to drive (default C-BO-MCS); repeatable\n"
       "  --all             run every registry lock\n"
       "  --list            print the registry lock names and exit\n"
-      "  --list-locks      print the full lock descriptors (family, caps,\n"
-      "                    honoured knobs) and exit\n"
+      "  --list-locks [FAMILY]\n"
+      "                    print the full lock descriptors (family, caps,\n"
+      "                    honoured knobs), optionally one family only,\n"
+      "                    and exit\n"
       "  --list-workloads  print the registered workloads and their flags\n"
       "  --threads N       worker threads (default 4)\n"
       "  --duration S      measured seconds per run (default 1.0)\n"
@@ -62,6 +64,19 @@ void usage(const char* argv0) {
       "                      (default: COHORT_GCR_ROTATION env, else 1024)\n"
       "  --gcr-tune-window N gcr- releases per hysteresis tuning window\n"
       "                      (default: COHORT_GCR_TUNE_WINDOW env, else 8192)\n"
+      "  --adaptive-window N     adaptive acquisitions per decision window\n"
+      "                          (default: COHORT_ADAPTIVE_WINDOW, else 2048)\n"
+      "  --adaptive-escalate P   contended %% marking a window hot (default:\n"
+      "                          COHORT_ADAPTIVE_ESCALATE env, else 50)\n"
+      "  --adaptive-deescalate P contended %% marking a window cold (default:\n"
+      "                          COHORT_ADAPTIVE_DEESCALATE env, else 10)\n"
+      "  --adaptive-hysteresis N consecutive hot/cold windows before a swap\n"
+      "                          (default: COHORT_ADAPTIVE_HYSTERESIS, else 2)\n"
+      "  --adaptive-max-level N  highest ladder rung, 3 enables the gcr rung\n"
+      "                          (default: COHORT_ADAPTIVE_MAX_LEVEL, else 2)\n"
+      "  --adaptive-gcr-waiters N  pinned waiters required for the gcr rung\n"
+      "                          (default: COHORT_ADAPTIVE_GCR_WAITERS env,\n"
+      "                          else online CPUs)\n"
       "  --net-host H      server address for --smoke (default 127.0.0.1)\n"
       "  --net-port P      server port for --smoke (required with --smoke)\n"
       "  --no-pin          skip CPU pinning\n"
@@ -77,8 +92,29 @@ void usage(const char* argv0) {
 // One descriptor per line, machine-greppable:
 //   name<TAB>family<TAB>cap,cap,...<TAB>knob,knob<TAB>summary
 // scripts/run_bench_matrix.sh awks this to cross-check sweep coverage.
-void list_locks() {
+// A non-empty family filter prints only that family; unknown families fail
+// listing the valid ones (mirroring the unknown-lock diagnostic).
+int list_locks(const std::string& family) {
+  if (!family.empty()) {
+    bool known = false;
+    std::string families;
+    for (const auto& d : cohort::reg::all_locks()) {
+      const std::string f = cohort::reg::to_string(d.family);
+      if (f == family) known = true;
+      if (families.find(f) == std::string::npos) {
+        if (!families.empty()) families += ", ";
+        families += f;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown lock family '%s' (families: %s)\n",
+                   family.c_str(), families.c_str());
+      return 2;
+    }
+  }
   for (const auto& d : cohort::reg::all_locks()) {
+    if (!family.empty() && family != cohort::reg::to_string(d.family))
+      continue;
     std::string caps;
     auto cap = [&](bool on, const char* name) {
       if (!on) return;
@@ -100,11 +136,16 @@ void list_locks() {
       if (!knobs.empty()) knobs += ",";
       knobs += "gcr";
     }
+    if (d.uses_adaptive_knobs) {
+      if (!knobs.empty()) knobs += ",";
+      knobs += "adaptive";
+    }
     if (knobs.empty()) knobs = "-";
     std::printf("%s\t%s\t%s\t%s\t%s\n", d.name.c_str(),
                 cohort::reg::to_string(d.family), caps.c_str(), knobs.c_str(),
                 d.summary.c_str());
   }
+  return 0;
 }
 
 void list_workloads() {
@@ -171,8 +212,10 @@ int main(int argc, char** argv) {
         std::printf("%s\n", name.c_str());
       return 0;
     } else if (arg == "--list-locks") {
-      list_locks();
-      return 0;
+      // Optional family filter: consume the next argv unless it is a flag.
+      std::string family;
+      if (i + 1 < argc && argv[i + 1][0] != '-') family = argv[++i];
+      return list_locks(family);
     } else if (arg == "--list-workloads") {
       list_workloads();
       return 0;
@@ -230,6 +273,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--gcr-tune-window" && parse_unsigned(next(), n) &&
                n > 0) {
       cfg.gcr_tune_window = static_cast<std::uint32_t>(n);
+    } else if (arg == "--adaptive-window" && parse_unsigned(next(), n) &&
+               n > 0) {
+      cfg.adaptive_window = static_cast<std::uint32_t>(n);
+    } else if (arg == "--adaptive-escalate" && parse_unsigned(next(), n) &&
+               n > 0 && n <= 100) {
+      cfg.adaptive_escalate = static_cast<std::uint32_t>(n);
+    } else if (arg == "--adaptive-deescalate" && parse_unsigned(next(), n) &&
+               n > 0 && n <= 100) {
+      cfg.adaptive_deescalate = static_cast<std::uint32_t>(n);
+    } else if (arg == "--adaptive-hysteresis" && parse_unsigned(next(), n) &&
+               n > 0) {
+      cfg.adaptive_hysteresis = static_cast<std::uint32_t>(n);
+    } else if (arg == "--adaptive-max-level" && parse_unsigned(next(), n) &&
+               n > 0 && n <= 3) {
+      cfg.adaptive_max_level = static_cast<std::uint32_t>(n);
+    } else if (arg == "--adaptive-gcr-waiters" && parse_unsigned(next(), n) &&
+               n > 0) {
+      cfg.adaptive_gcr_waiters = static_cast<std::uint32_t>(n);
     } else if (arg == "--size-zipf" && parse_double(next(), d)) {
       cfg.alloc_size_zipf = d;
     } else if (arg == "--alloc-min" && parse_unsigned(next(), n) && n > 0) {
@@ -287,13 +348,8 @@ int main(int argc, char** argv) {
 
   for (const auto& name : locks) {
     if (!cohort::reg::is_lock_name(name)) {
-      std::string known;
-      for (const auto& l : cohort::reg::all_lock_names()) {
-        if (!known.empty()) known += ", ";
-        known += l;
-      }
-      std::fprintf(stderr, "%s: unknown lock '%s' (registered: %s)\n",
-                   argv[0], name.c_str(), known.c_str());
+      std::fprintf(stderr, "%s: %s\n", argv[0],
+                   cohort::reg::unknown_lock_message(name).c_str());
       return 2;
     }
   }

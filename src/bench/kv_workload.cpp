@@ -64,8 +64,8 @@ bench_result run_kv_bench(const bench_config& cfg) {
       cfg.lock_name, kcfg, detail::lock_params_of(cfg),
       [&](auto& store) { run_kv_typed(store, cfg, res); });
   if (!known)
-    throw std::invalid_argument("bench: unknown lock name '" + cfg.lock_name +
-                                "'");
+    throw std::invalid_argument("bench: " +
+                                reg::unknown_lock_message(cfg.lock_name));
   return res;
 }
 

@@ -41,8 +41,8 @@ bench_result run_kvnet_bench(const bench_config& cfg) {
   auto store = kvstore::make_any_sharded_store(cfg.lock_name, kcfg,
                                                detail::lock_params_of(cfg));
   if (store == nullptr)
-    throw std::invalid_argument("bench: unknown lock name '" + cfg.lock_name +
-                                "'");
+    throw std::invalid_argument("bench: " +
+                                reg::unknown_lock_message(cfg.lock_name));
 
   const auto keys =
       kvstore::make_keyspace(cfg.keyspace != 0 ? cfg.keyspace : 1);

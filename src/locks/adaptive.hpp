@@ -1,0 +1,337 @@
+// Adaptive lock: a contention-driven policy ladder with quiescent hot-swap.
+//
+// The paper's central result is that *which* lock design wins is a function
+// of contention: plain TATAS beats cohort locks uncontended, the cohort
+// compositions win hot, and (PR 7) GCR admission wins oversubscribed.  A
+// sharded store under Zipf key skew has *heterogeneous* contention across
+// shards at the same instant, so no uniform choice is right everywhere.
+// adaptive_lock closes the loop per instance: it starts on TATAS and
+// escalates / de-escalates its inner lock at runtime along
+//
+//     TATAS -> C-BO-MCS-fp -> C-BO-MCS [-> gcr-C-BO-MCS]
+//
+// driven by an acquisition-sampling monitor, swapping the inner lock with a
+// quiescent-swap protocol that never blocks an acquisition on a retired
+// lock.
+//
+// Contention signal.  pin() counts every acquisition and, when the pin
+// count was already non-zero, a *contended* one -- another thread was
+// inside lock()/unlock() at the same instant.  The signal is uniform
+// across rungs (it does not depend on inner-lock internals) and rides the
+// fetch_add the swap protocol already pays.  Every `window` acquisitions
+// the current holder evaluates the contended fraction: at/above
+// escalate_pct the window is hot, at/below deescalate_pct it is cold, and
+// `hysteresis` consecutive hot (cold) windows trigger an escalation
+// (de-escalation).  The gcr rung additionally requires the instantaneous
+// pin count to reach gcr_waiters (default: the online CPU count) --
+// admission control only pays for itself oversubscribed.
+//
+// Quiescent swap.  Each inner lock lives in a `version` node:
+//
+//     current_ --> [v2: gate, pins] --succ-- [v1: retired, draining] ...
+//
+//  * pin:   load current_, pins.fetch_add, then re-check version->retired;
+//           a retired version is unpinned and the load retried, so no
+//           acquisition ever *starts* on a retired version.
+//  * swap:  only the current holder swaps, inner lock still held: install a
+//           gate-closed successor as current_, then mark the old version
+//           retired.  Pinners already admitted on the old version drain
+//           through its inner lock undisturbed -- the swap never blocks
+//           them and they never block on a lock that stopped existing.
+//  * gate:  acquirers of the successor futex-wait until the predecessor's
+//           pins drain to zero; the last unpinner of a retired version
+//           opens the successor's gate.  Mutual exclusion hands over from
+//           the old inner lock to the new one with no overlap (proof
+//           sketch: DESIGN.md §10).
+//
+// Retired versions stay on the all-versions chain until the destructor, so
+// stats() aggregates lifetime counters and no thread context ever dangles.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "locks/any_lock.hpp"
+#include "util/align.hpp"
+#include "util/futex.hpp"
+#include "util/stat_cell.hpp"
+
+namespace cohort {
+
+// Fully-resolved monitor policy; reg::effective_adaptive() resolves the
+// flag/env default chain (reg::adaptive_knobs) into one of these.
+struct adaptive_policy {
+  std::uint32_t window = 2048;        // acquisitions per decision window
+  std::uint32_t escalate_pct = 50;    // contended % marking a window hot
+  std::uint32_t deescalate_pct = 10;  // contended % marking a window cold
+  std::uint32_t hysteresis = 2;       // consecutive windows before a swap
+  std::uint32_t max_level = 2;        // highest rung; 3 enables the gcr rung
+  std::uint32_t gcr_waiters = 0;      // pin gate for the gcr rung; 0 = CPUs
+};
+
+class adaptive_lock {
+  struct version;
+
+ public:
+  // The ladder, cheapest rung first.  Every name is a registry name
+  // (adaptive_test cross-checks), so the ladder can never name a lock the
+  // registry cannot build.
+  static constexpr std::array<const char*, 4> ladder() {
+    return {{"TATAS", "C-BO-MCS-fp", "C-BO-MCS", "gcr-C-BO-MCS"}};
+  }
+
+  struct context {
+    context() = default;
+    context(context&&) = default;
+    context& operator=(context&&) = default;
+
+   private:
+    friend class adaptive_lock;
+    version* v = nullptr;          // version the inner context was made for
+    reg::any_lock::context inner;  // owned by v->lock; must not outlive it
+  };
+
+  explicit adaptive_lock(adaptive_policy p = {}, reg::lock_params base = {})
+      : policy_(sanitize(p)),
+        base_(std::move(base)),
+        ceiling_(std::min<std::uint32_t>(
+            policy_.max_level, static_cast<std::uint32_t>(ladder().size()) - 1)),
+        gcr_waiters_(policy_.gcr_waiters != 0
+                         ? policy_.gcr_waiters
+                         : std::max(1u, std::thread::hardware_concurrency())) {
+    version* v0 = new version(build_rung(0, base_), 0, /*gate_open=*/true);
+    versions_.store(v0, std::memory_order_relaxed);
+    current_.store(v0, std::memory_order_release);
+  }
+
+  ~adaptive_lock() {
+    version* v = versions_.load(std::memory_order_acquire);
+    while (v != nullptr) {
+      version* next = v->vnext;
+      delete v;
+      v = next;
+    }
+  }
+
+  adaptive_lock(const adaptive_lock&) = delete;
+  adaptive_lock& operator=(const adaptive_lock&) = delete;
+
+  void lock(context& c) {
+    version* v = pin();
+    if (c.v != v) {
+      // First acquisition on this version: rebuild the inner context.  The
+      // old version is still on the chain, so resetting through it is safe.
+      c.inner.reset();
+      c.inner = v->lock->make_context();
+      c.v = v;
+    }
+    // Gate: a successor admits holders only once the predecessor's pins
+    // have drained (the last unpinner opens it and wakes the word).
+    while (v->open.load(std::memory_order_acquire) == 0)
+      futex::wait(v->open, 0u);
+    v->lock->lock(c.inner);
+    if (!v->has_stats) ++v->synth_acquires;  // holder-serialised cell
+  }
+
+  release_kind unlock(context& c) {
+    version* v = c.v;
+    // Policy decisions run holder-side, before the inner release, and only
+    // on the live current version: decision state (streaks) is therefore
+    // serialised by the global critical section itself.
+    if (!v->retired.load(std::memory_order_acquire) &&
+        v == current_.load(std::memory_order_relaxed))
+      maybe_decide(v);
+    const release_kind k = v->lock->unlock(c.inner);
+    unpin(v);  // after the inner release: a held pin keeps successors gated
+    // Plain rungs report none, but the adaptive holder *is* the global
+    // holder; surface a global release for the harness's batch accounting.
+    return k == release_kind::none ? release_kind::global : k;
+  }
+
+  // Lifetime counters across every version (exact at quiescence), plus the
+  // adaptive gauges: current_policy is the 1-based rung of the live inner
+  // lock, policy_switches the number of completed hot-swaps.
+  cohort_stats stats() const {
+    cohort_stats agg{};
+    for (const version* v = versions_.load(std::memory_order_acquire);
+         v != nullptr; v = v->vnext) {
+      if (v->has_stats) {
+        if (auto s = v->lock->stats()) agg += *s;
+      } else {
+        // Stat-less rungs (TATAS): every acquisition took "the global
+        // lock", so the batch identity holds with batch length 1.
+        const std::uint64_t n = v->synth_acquires.get();
+        agg.acquisitions += n;
+        agg.global_acquires += n;
+      }
+    }
+    agg.policy_switches = switches_.get();
+    agg.current_policy = level() + 1;
+    return agg;
+  }
+
+  // Observability for tests, samplers, and the monitor's own gcr gate.
+  std::uint32_t level() const {
+    return current_.load(std::memory_order_acquire)->level;
+  }
+  std::uint64_t switches() const { return switches_.get(); }
+  std::uint32_t pinned() const {
+    return current_.load(std::memory_order_acquire)
+        ->pins.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(destructive_interference_size) version {
+    version(std::unique_ptr<reg::any_lock> l, std::uint32_t lvl,
+            bool gate_open)
+        : lock(std::move(l)),
+          level(lvl),
+          has_stats(lock->stats().has_value()),
+          open(gate_open ? 1u : 0u) {}
+
+    const std::unique_ptr<reg::any_lock> lock;
+    const std::uint32_t level;
+    const bool has_stats;
+
+    std::atomic<std::uint32_t> pins{0};
+    std::atomic<bool> retired{false};
+    std::atomic<std::uint32_t> open;           // futex word; 1 = admitting
+    std::atomic<version*> successor{nullptr};  // set before retired
+    version* vnext = nullptr;                  // all-versions chain (newest first)
+    stat_cell synth_acquires;                  // for stat-less inner locks
+  };
+
+  static adaptive_policy sanitize(adaptive_policy p) {
+    if (p.window == 0) p.window = 1;
+    if (p.hysteresis == 0) p.hysteresis = 1;
+    if (p.escalate_pct == 0) p.escalate_pct = 1;
+    if (p.escalate_pct > 100) p.escalate_pct = 100;
+    if (p.deescalate_pct >= p.escalate_pct)
+      p.deescalate_pct = p.escalate_pct - 1;  // keep the bands disjoint
+    return p;
+  }
+
+  static std::unique_ptr<reg::any_lock> build_rung(
+      std::uint32_t level, const reg::lock_params& base) {
+    auto l = reg::make_lock(ladder()[level], base);
+    if (l == nullptr)
+      throw std::logic_error(std::string("adaptive ladder names an "
+                                         "unregistered lock: ") +
+                             ladder()[level]);
+    return l;
+  }
+
+  version* pin() {
+    for (;;) {
+      version* v = current_.load(std::memory_order_acquire);
+      const std::uint32_t prev =
+          v->pins.fetch_add(1, std::memory_order_acq_rel);
+      if (!v->retired.load(std::memory_order_acquire)) {
+        // Admitted on a live version; count the monitor sample.  Contended
+        // means another thread held a pin at the same instant.
+        win_acq_.fetch_add(1, std::memory_order_relaxed);
+        if (prev != 0) win_contended_.fetch_add(1, std::memory_order_relaxed);
+        return v;
+      }
+      unpin(v);  // raced a swap: drop the pin (maybe opening the gate), retry
+    }
+  }
+
+  void unpin(version* v) {
+    if (v->pins.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        v->retired.load(std::memory_order_acquire)) {
+      // Last pin of a retired version: handover complete, admit the
+      // successor's gated waiters.  Re-opening an open gate (a late pinner
+      // bouncing off the retired check) is harmless.
+      version* next = v->successor.load(std::memory_order_acquire);
+      next->open.store(1, std::memory_order_release);
+      futex::wake_all(next->open);
+    }
+  }
+
+  void maybe_decide(version* cur) {
+    const std::uint64_t acq = win_acq_.load(std::memory_order_relaxed);
+    if (acq < policy_.window) return;
+    const std::uint64_t hot = win_contended_.load(std::memory_order_relaxed);
+    // Reset first; pinners racing the reset just count into the next
+    // window, which only delays the next decision.
+    win_acq_.store(0, std::memory_order_relaxed);
+    win_contended_.store(0, std::memory_order_relaxed);
+
+    const std::uint64_t pct = hot >= acq ? 100 : hot * 100 / acq;
+    if (pct >= policy_.escalate_pct) {
+      cold_streak_ = 0;
+      std::uint32_t target = cur->level + 1;
+      // The gcr rung is admission control: only worth entering when the
+      // waiter gauge says the box is oversubscribed.
+      if (target == ladder().size() - 1 &&
+          cur->pins.load(std::memory_order_relaxed) < gcr_waiters_)
+        target = cur->level;
+      if (target > ceiling_ || target == cur->level) {
+        hot_streak_ = 0;
+        return;
+      }
+      if (++hot_streak_ >= policy_.hysteresis) {
+        hot_streak_ = 0;
+        swap_to(cur, target);
+      }
+    } else if (pct <= policy_.deescalate_pct) {
+      hot_streak_ = 0;
+      if (cur->level == 0) {
+        cold_streak_ = 0;
+        return;
+      }
+      if (++cold_streak_ >= policy_.hysteresis) {
+        cold_streak_ = 0;
+        swap_to(cur, cur->level - 1);
+      }
+    } else {
+      hot_streak_ = 0;
+      cold_streak_ = 0;
+    }
+  }
+
+  // Called by the current holder with cur's inner lock held.  The successor
+  // gate stays closed until every pin on cur (the holder's included) drains.
+  void swap_to(version* cur, std::uint32_t new_level) {
+    version* next =
+        new version(build_rung(new_level, base_), new_level,
+                    /*gate_open=*/false);
+    next->vnext = versions_.load(std::memory_order_relaxed);
+    versions_.store(next, std::memory_order_release);
+    cur->successor.store(next, std::memory_order_release);
+    current_.store(next, std::memory_order_release);
+    // Retire last: a pinner that observes retired may rely on successor
+    // being set and on current_ already pointing past this version.
+    cur->retired.store(true, std::memory_order_release);
+    ++switches_;  // holder-serialised cell
+  }
+
+  const adaptive_policy policy_;
+  const reg::lock_params base_;
+  const std::uint32_t ceiling_;
+  const std::uint32_t gcr_waiters_;
+
+  std::atomic<version*> current_{nullptr};
+  std::atomic<version*> versions_{nullptr};  // ownership chain, newest first
+
+  // Window counters: multi-writer relaxed; reset by the deciding holder
+  // (lost increments shorten a window, never corrupt it).
+  std::atomic<std::uint64_t> win_acq_{0};
+  std::atomic<std::uint64_t> win_contended_{0};
+
+  // Decision state: only the current holder, pre-release, ever touches
+  // these, so plain fields are race-free (see unlock()).
+  std::uint32_t hot_streak_ = 0;
+  std::uint32_t cold_streak_ = 0;
+
+  stat_cell switches_;  // completed swaps; holder-only writer
+};
+
+}  // namespace cohort

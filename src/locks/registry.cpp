@@ -1,5 +1,6 @@
 #include "locks/registry.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace cohort::reg {
@@ -46,11 +47,36 @@ gcr_policy effective_gcr(const lock_params& lp) {
   return gp;
 }
 
+adaptive_policy effective_adaptive(const lock_params& lp) {
+  adaptive_policy ap;  // compiled defaults (gcr_waiters 0 = online CPUs)
+  if (const std::uint32_t v = env_u32("COHORT_ADAPTIVE_WINDOW"); v != 0)
+    ap.window = v;
+  if (const std::uint32_t v = env_u32("COHORT_ADAPTIVE_ESCALATE"); v != 0)
+    ap.escalate_pct = v;
+  if (const std::uint32_t v = env_u32("COHORT_ADAPTIVE_DEESCALATE"); v != 0)
+    ap.deescalate_pct = v;
+  if (const std::uint32_t v = env_u32("COHORT_ADAPTIVE_HYSTERESIS"); v != 0)
+    ap.hysteresis = v;
+  if (const std::uint32_t v = env_u32("COHORT_ADAPTIVE_MAX_LEVEL"); v != 0)
+    ap.max_level = v;
+  if (const std::uint32_t v = env_u32("COHORT_ADAPTIVE_GCR_WAITERS"); v != 0)
+    ap.gcr_waiters = v;
+  if (lp.adaptive.window != 0) ap.window = lp.adaptive.window;
+  if (lp.adaptive.escalate_pct != 0) ap.escalate_pct = lp.adaptive.escalate_pct;
+  if (lp.adaptive.deescalate_pct != 0)
+    ap.deescalate_pct = lp.adaptive.deescalate_pct;
+  if (lp.adaptive.hysteresis != 0) ap.hysteresis = lp.adaptive.hysteresis;
+  if (lp.adaptive.max_level != 0) ap.max_level = lp.adaptive.max_level;
+  if (lp.adaptive.gcr_waiters != 0) ap.gcr_waiters = lp.adaptive.gcr_waiters;
+  return ap;
+}
+
 namespace detail {
 
 resolved_params resolve(const lock_params& lp) {
   return {effective_clusters(lp), pass_policy{lp.cohort.pass_limit},
-          effective_fastpath(lp), effective_gcr(lp)};
+          effective_fastpath(lp), effective_gcr(lp), effective_adaptive(lp),
+          lp};
 }
 
 }  // namespace detail
@@ -69,6 +95,8 @@ const char* to_string(lock_family f) {
       return "fp-composite";
     case lock_family::gcr:
       return "gcr";
+    case lock_family::adaptive:
+      return "adaptive";
   }
   return "?";
 }
@@ -148,9 +176,13 @@ lock_descriptor describe(const detail::entry<Maker>& e) {
   d.caps.reports_batch_stats = detail::lock_reports_stats<lock_t>();
   d.uses_pass_limit = e.uses_pass_limit;
   d.uses_fp_knobs = e.uses_fp_knobs;
-  // Derived, not declared: every gcr-family lock honours the gcr knobs and
-  // nothing else does, so the flag cannot drift from the family.
-  d.uses_gcr_knobs = e.family == lock_family::gcr;
+  // Derived, not declared, so the flags cannot drift from the family: the
+  // gcr knobs are honoured by the gcr wrappers and by the adaptive ladder
+  // (whose top rung is a gcr- lock); the adaptive monitor knobs only by the
+  // adaptive family itself.
+  d.uses_gcr_knobs =
+      e.family == lock_family::gcr || e.family == lock_family::adaptive;
+  d.uses_adaptive_knobs = e.family == lock_family::adaptive;
   d.summary = e.summary;
   d.make = [name = d.name, maker = e.make](
                const lock_params& lp) -> std::unique_ptr<any_lock> {
@@ -176,6 +208,82 @@ const lock_descriptor* find_lock(const std::string& name) {
   for (const auto& d : all_locks())
     if (d.name == name) return &d;
   return nullptr;
+}
+
+namespace {
+
+char fold(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool iprefix(const std::string& pat, const std::string& s) {
+  if (pat.size() > s.size()) return false;
+  for (std::size_t i = 0; i < pat.size(); ++i)
+    if (fold(pat[i]) != fold(s[i])) return false;
+  return true;
+}
+
+// Case-insensitive Levenshtein distance, two-row rolling table.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub =
+          prev[j - 1] + (fold(a[i - 1]) == fold(b[j - 1]) ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::vector<std::string> suggest_lock_names(const std::string& name,
+                                            std::size_t max_out) {
+  // Typo tolerance scales with what was typed: a third of the name, never
+  // under 2, so "C-BO-MSC" finds C-BO-MCS and "tata" finds TATAS without
+  // short garbage matching everything.
+  const std::size_t cutoff = std::max<std::size_t>(2, name.size() / 3);
+  struct scored {
+    bool prefix;
+    std::size_t dist;
+    const std::string* n;
+  };
+  std::vector<scored> cand;
+  for (const auto& d : all_locks()) {
+    const bool pre = !name.empty() && iprefix(name, d.name);
+    const std::size_t dist = edit_distance(name, d.name);
+    if (pre || dist <= cutoff) cand.push_back({pre, dist, &d.name});
+  }
+  std::stable_sort(cand.begin(), cand.end(),
+                   [](const scored& a, const scored& b) {
+                     if (a.prefix != b.prefix) return a.prefix;
+                     return a.dist < b.dist;
+                   });
+  std::vector<std::string> out;
+  for (const scored& s : cand) {
+    if (out.size() >= max_out) break;
+    out.push_back(*s.n);
+  }
+  return out;
+}
+
+std::string unknown_lock_message(const std::string& name) {
+  std::string msg = "unknown lock '" + name + "'";
+  const std::vector<std::string> sug = suggest_lock_names(name);
+  if (!sug.empty()) {
+    msg += "; did you mean ";
+    for (std::size_t i = 0; i < sug.size(); ++i) {
+      if (i != 0) msg += i + 1 == sug.size() ? " or " : ", ";
+      msg += "'" + sug[i] + "'";
+    }
+    msg += "?";
+  }
+  msg += " (--list-locks prints the registry)";
+  return msg;
 }
 
 const std::vector<std::string>& all_lock_names() {

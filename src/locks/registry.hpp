@@ -37,6 +37,8 @@
 #include <vector>
 
 #include "cohort/locks.hpp"
+#include "locks/adaptive.hpp"
+#include "locks/any_lock.hpp"
 #include "locks/fcmcs.hpp"
 #include "locks/hbo.hpp"
 #include "locks/hclh.hpp"
@@ -45,43 +47,10 @@
 namespace cohort::reg {
 
 // ---- construction parameters ------------------------------------------------
-
-// Cohort-transformation knobs (cohort_lock and the CNA starvation bound).
-struct cohort_knobs {
-  std::uint64_t pass_limit = 64;  // may-pass-local bound (paper §3.7)
-};
-
-// Fast-path hysteresis for the -fp locks (cohort/fastpath.hpp).  0 means
-// "default": the COHORT_FISSION_LIMIT / COHORT_REENGAGE_DRAINS environment
-// variables when set (so long-lived consumers like the server tune without
-// new flags), else the compiled 8/4.  A literal 0 is not reachable --
-// disengaging after zero failures is the same machine as limit 1.
-struct fastpath_knobs {
-  std::uint32_t fission_limit = 0;
-  std::uint32_t reengage_drains = 0;
-};
-
-// Admission knobs for the gcr- locks (cohort/gcr.hpp).  0 means "default":
-// the COHORT_GCR_MIN_ACTIVE / COHORT_GCR_MAX_ACTIVE / COHORT_GCR_ROTATION /
-// COHORT_GCR_TUNE_WINDOW environment variables when set, else the compiled
-// gcr_policy defaults (max_active additionally resolving 0 to the online
-// CPU count inside the combinator).
-struct gcr_knobs {
-  std::uint32_t min_active = 0;
-  std::uint32_t max_active = 0;
-  std::uint32_t rotation_interval = 0;
-  std::uint32_t tune_window = 0;
-};
-
-// Per-family sub-structs: a lock only reads the knobs its family honours
-// (lock_descriptor::uses_pass_limit / uses_fp_knobs / uses_gcr_knobs say
-// which), and JSON records only report honoured knobs.
-struct lock_params {
-  unsigned clusters = 0;  // 0 = ask numa::system_topology()
-  cohort_knobs cohort{};
-  fastpath_knobs fp{};
-  gcr_knobs gcr{};
-};
+// The knob structs, lock_params, and the type-erased any_lock handle live in
+// locks/any_lock.hpp (so wrapper locks built *through* the registry, like
+// locks/adaptive.hpp, can consume them without the entry table); this header
+// re-exports them.
 
 // The fastpath_policy the -fp registry entries will be constructed with,
 // after the default chain above resolves.  Exposed so records (JSON) can
@@ -93,6 +62,12 @@ fastpath_policy effective_fastpath(const lock_params& lp);
 // per-construction).
 gcr_policy effective_gcr(const lock_params& lp);
 
+// And the adaptive_policy the adaptive entry will be constructed with; the
+// monitor additionally sanitises (window/hysteresis floors, disjoint
+// escalate/de-escalate bands) and resolves gcr_waiters==0 to the online CPU
+// count per construction.
+adaptive_policy effective_adaptive(const lock_params& lp);
+
 // ---- descriptor metadata ----------------------------------------------------
 
 enum class lock_family : std::uint8_t {
@@ -102,6 +77,7 @@ enum class lock_family : std::uint8_t {
   compact,       // single-word NUMA locks (CNA, Reciprocating)
   fp_composite,  // fissile_lock<Inner> fast-path wrappers ("-fp")
   gcr,           // gcr<Inner> admission wrappers ("gcr-")
+  adaptive,      // contention-driven policy ladder (locks/adaptive.hpp)
 };
 
 const char* to_string(lock_family f);
@@ -113,16 +89,15 @@ struct lock_caps {
   bool reports_batch_stats = false; // exposes cohort_stats counters
 };
 
-class any_lock;
-
 struct lock_descriptor {
   std::string name;
   lock_family family{};
   lock_caps caps{};
-  bool uses_pass_limit = false;  // honours lock_params::cohort
-  bool uses_fp_knobs = false;    // honours lock_params::fp
-  bool uses_gcr_knobs = false;   // honours lock_params::gcr (family == gcr)
-  std::string summary;           // one line for --list-locks
+  bool uses_pass_limit = false;     // honours lock_params::cohort
+  bool uses_fp_knobs = false;       // honours lock_params::fp
+  bool uses_gcr_knobs = false;      // honours lock_params::gcr
+  bool uses_adaptive_knobs = false; // honours lock_params::adaptive
+  std::string summary;              // one line for --list-locks
   std::function<std::unique_ptr<any_lock>(const lock_params&)> make;
 };
 
@@ -134,11 +109,16 @@ inline unsigned effective_clusters(const lock_params& lp) {
 }
 
 // lock_params with every default chain resolved; what entry makers consume.
+// `base` keeps the unresolved params for wrapper locks (adaptive) that build
+// their inner locks back through make_lock -- each inner construction then
+// re-resolves the same chain, so effective values cannot diverge.
 struct resolved_params {
   unsigned clusters;
   pass_policy pp;
   fastpath_policy fpp;
   gcr_policy gp;
+  adaptive_policy ap;
+  lock_params base;
 };
 
 resolved_params resolve(const lock_params& lp);
@@ -407,6 +387,17 @@ inline const auto& entries() {
               return std::make_unique<gcr_reciprocating_fp_lock>(rp.gp,
                                                                  rp.fpp);
             }},
+      // -- adaptive policy ladder (locks/adaptive.hpp) -----------------------
+      // Honours the knobs of every rung it can build (pass_limit, fp, gcr)
+      // plus its own monitor knobs.  Not fp_composable: the ladder already
+      // contains the -fp rung, and a fissile gate *outside* the swap
+      // protocol would bypass the version pins.
+      entry{"adaptive", lock_family::adaptive, false, true, true, true,
+            "contention-driven ladder TATAS -> C-BO-MCS-fp -> C-BO-MCS"
+            " (-> gcr-) with quiescent hot-swap",
+            [](const resolved_params& rp) {
+              return std::make_unique<adaptive_lock>(rp.ap, rp.base);
+            }},
   };
   return table;
 }
@@ -434,6 +425,15 @@ const std::vector<lock_descriptor>& all_locks();
 // nullptr for unknown names.
 const lock_descriptor* find_lock(const std::string& name);
 
+// Near-miss candidates for a name find_lock rejected: case-insensitive
+// prefix matches first, then small edit distances, registry order breaking
+// ties.  Empty when nothing is plausibly close.
+std::vector<std::string> suggest_lock_names(const std::string& name,
+                                            std::size_t max_out = 3);
+// The one diagnostic every consumer (bench CLI, workloads, server) prints
+// for a failed lookup: "unknown lock 'X'; did you mean ...?".
+std::string unknown_lock_message(const std::string& name);
+
 // Canonical name list, in the order the paper's evaluation introduces them.
 const std::vector<std::string>& all_lock_names();
 // The subset exposing batching statistics (caps.reports_batch_stats): the
@@ -446,82 +446,5 @@ const std::vector<std::string>& abortable_lock_names();
 const std::vector<std::string>& table_lock_names();
 
 bool is_lock_name(const std::string& name);
-
-// ---- type-erased handle -----------------------------------------------------
-
-// Batching/handoff counters in a lock-agnostic shape.  Abortable locks'
-// extra timeout counters are sliced off; the harness counts timeouts itself.
-using erased_stats = cohort_stats;
-
-class any_lock {
- public:
-  virtual ~any_lock() = default;
-
-  // Movable per-thread acquisition context; destroys itself through the
-  // owning lock.  Must not outlive the lock.
-  class context {
-   public:
-    context() = default;
-    context(context&& o) noexcept : owner_(o.owner_), p_(o.p_) {
-      o.owner_ = nullptr;
-      o.p_ = nullptr;
-    }
-    context& operator=(context&& o) noexcept {
-      if (this != &o) {
-        reset();
-        owner_ = o.owner_;
-        p_ = o.p_;
-        o.owner_ = nullptr;
-        o.p_ = nullptr;
-      }
-      return *this;
-    }
-    context(const context&) = delete;
-    context& operator=(const context&) = delete;
-    ~context() { reset(); }
-
-    void reset() {
-      if (owner_ != nullptr) owner_->destroy_context(p_);
-      owner_ = nullptr;
-      p_ = nullptr;
-    }
-
-   private:
-    friend class any_lock;
-    context(any_lock* owner, void* p) : owner_(owner), p_(p) {}
-    any_lock* owner_ = nullptr;
-    void* p_ = nullptr;
-  };
-
-  context make_context() { return context(this, create_context()); }
-
-  void lock(context& c) { do_lock(c.p_); }
-  // The unified unlock contract: every registry lock reports how it
-  // released (core.hpp).  Plain and queue locks report release_kind::none.
-  release_kind unlock(context& c) { return do_unlock(c.p_); }
-
-  // Bounded-patience acquisition; non-abortable locks block and return true.
-  bool try_lock_for(context& c, std::chrono::nanoseconds patience) {
-    return do_try_lock(c.p_, deadline_after(patience));
-  }
-
-  virtual const std::string& name() const = 0;
-  virtual bool abortable() const = 0;
-  // Present only for stats-reporting locks; reads are only meaningful while
-  // the lock is quiescent.
-  virtual std::optional<erased_stats> stats() const = 0;
-
- protected:
-  virtual void* create_context() = 0;
-  virtual void destroy_context(void* p) = 0;
-  virtual void do_lock(void* p) = 0;
-  virtual release_kind do_unlock(void* p) = 0;
-  virtual bool do_try_lock(void* p, deadline d) = 0;
-};
-
-// Constructs the named lock behind a type-erased handle; nullptr for unknown
-// names.
-std::unique_ptr<any_lock> make_lock(const std::string& name,
-                                    const lock_params& lp = {});
 
 }  // namespace cohort::reg

@@ -1,0 +1,300 @@
+// Adaptive lock tests: deterministic escalation/de-escalation along the
+// policy ladder, swap safety while the lock is held (no acquisition is ever
+// lost or blocked on a retired version), knob resolution through the
+// flag/env default chain, and per-shard policy heterogeneity through the kv
+// engine.  The multithreaded cases run under the ASan/UBSan and TSan CI
+// jobs -- the swap protocol's pin/retire/gate handover is exactly what TSan
+// is pointed at here.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "kvstore/sharded_store.hpp"
+#include "locks/adaptive.hpp"
+#include "locks/registry.hpp"
+#include "numa/topology.hpp"
+
+namespace cohort {
+namespace {
+
+class AdaptiveLockTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    numa::set_system_topology(numa::topology::synthetic(2));
+    numa::reset_round_robin_for_test();
+  }
+};
+
+// One fully-contended round: the main thread holds the lock while kHelpers
+// threads pin behind it, so at least kHelpers of the round's kHelpers+1
+// acquisitions count as contended -- enough to make any window with
+// escalate_pct <= 75 deterministically hot.
+void contended_round(adaptive_lock& lock, adaptive_lock::context& main_ctx,
+                     int helpers) {
+  lock.lock(main_ctx);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < helpers; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      adaptive_lock::context ctx;
+      lock.lock(ctx);
+      lock.unlock(ctx);
+    });
+  }
+  // Helpers have pinned (and therefore sampled as contended) once the pin
+  // gauge covers the holder plus every helper.
+  while (lock.pinned() < static_cast<std::uint32_t>(helpers) + 1)
+    std::this_thread::yield();
+  lock.unlock(main_ctx);
+  for (auto& th : threads) th.join();
+}
+
+TEST_F(AdaptiveLockTest, LadderNamesAreRegistryNames) {
+  for (const char* rung : adaptive_lock::ladder())
+    EXPECT_TRUE(reg::is_lock_name(rung)) << rung;
+}
+
+TEST_F(AdaptiveLockTest, StartsOnLadderBaseAndSynthesisesStats) {
+  adaptive_lock lock;  // default policy: window 2048, so no decisions here
+  EXPECT_EQ(lock.level(), 0u);
+  adaptive_lock::context ctx;
+  for (int i = 0; i < 10; ++i) {
+    lock.lock(ctx);
+    // The adaptive holder is the global holder even on the TATAS rung.
+    EXPECT_EQ(lock.unlock(ctx), release_kind::global);
+  }
+  const cohort_stats s = lock.stats();
+  EXPECT_EQ(s.acquisitions, 10u);
+  EXPECT_EQ(s.global_acquires, 10u);
+  EXPECT_EQ(s.local_handoffs, 0u);
+  EXPECT_EQ(s.policy_switches, 0u);
+  EXPECT_EQ(s.current_policy, 1u);  // 1-based rung gauge
+  EXPECT_EQ(lock.switches(), 0u);
+}
+
+TEST_F(AdaptiveLockTest, EscalatesUnderContentionThenDeescalatesWhenCold) {
+  adaptive_lock lock({.window = 32,
+                      .escalate_pct = 50,
+                      .deescalate_pct = 10,
+                      .hysteresis = 1,
+                      .max_level = 2});
+  adaptive_lock::context ctx;
+
+  // Hot phase: every round is >= 75% contended, so each completed window is
+  // hot and (hysteresis 1) escalates one rung.  Two windows reach the
+  // C-BO-MCS ceiling; the round bound only guards a broken monitor.
+  int rounds = 0;
+  while (lock.level() < 2u && rounds < 200) {
+    contended_round(lock, ctx, /*helpers=*/3);
+    ++rounds;
+  }
+  EXPECT_EQ(lock.level(), 2u);
+  const std::uint64_t up_switches = lock.switches();
+  EXPECT_GE(up_switches, 2u);
+
+  // Cold phase: solo acquisitions are never contended, so every window is
+  // 0% <= deescalate_pct and the ladder walks back to TATAS.
+  for (int i = 0; i < 500 && lock.level() > 0u; ++i) {
+    lock.lock(ctx);
+    lock.unlock(ctx);
+  }
+  EXPECT_EQ(lock.level(), 0u);
+  EXPECT_GE(lock.switches(), up_switches + 2);
+  EXPECT_EQ(lock.stats().current_policy, 1u);
+}
+
+TEST_F(AdaptiveLockTest, GcrRungIsGatedOnWaiterCountAndOptIn) {
+  // max_level 3 enables the gcr rung, but with an unreachable waiter gate
+  // the ladder must stop at C-BO-MCS no matter how hot it runs.
+  adaptive_lock gated({.window = 16,
+                       .escalate_pct = 50,
+                       .deescalate_pct = 1,
+                       .hysteresis = 1,
+                       .max_level = 3,
+                       .gcr_waiters = 1000});
+  adaptive_lock::context ctx;
+  for (int i = 0; i < 40 && gated.level() < 3u; ++i)
+    contended_round(gated, ctx, /*helpers=*/3);
+  EXPECT_EQ(gated.level(), 2u);
+
+  // With the gate at 2 waiters the same load escalates all the way up.
+  adaptive_lock open({.window = 16,
+                      .escalate_pct = 50,
+                      .deescalate_pct = 1,
+                      .hysteresis = 1,
+                      .max_level = 3,
+                      .gcr_waiters = 2});
+  adaptive_lock::context octx;
+  int rounds = 0;
+  while (open.level() < 3u && rounds < 200) {
+    contended_round(open, octx, /*helpers=*/3);
+    ++rounds;
+  }
+  EXPECT_EQ(open.level(), 3u);
+}
+
+TEST_F(AdaptiveLockTest, SwapDuringHeldLockDrainsAndAdmitsNewAcquirers) {
+  // window 4 and escalate_pct 25: the round's own four acquisitions (three
+  // contended) complete a hot window, so the swap decision fires inside the
+  // main thread's unlock *while helpers are still pinned on the old
+  // version* -- the drain path under test.
+  adaptive_lock lock({.window = 4,
+                      .escalate_pct = 25,
+                      .deescalate_pct = 1,
+                      .hysteresis = 1,
+                      .max_level = 2});
+  adaptive_lock::context ctx;
+  const std::uint32_t before = lock.level();
+  contended_round(lock, ctx, /*helpers=*/3);
+  // Every helper completed (join returned), nobody blocked on the retired
+  // version, and the swap landed.
+  EXPECT_GT(lock.level(), before);
+  EXPECT_GE(lock.switches(), 1u);
+
+  // A fresh context acquires through the successor's gate.
+  adaptive_lock::context fresh;
+  lock.lock(fresh);
+  lock.unlock(fresh);
+  const cohort_stats s = lock.stats();
+  EXPECT_EQ(s.current_policy, lock.level() + 1);
+  // Lifetime counters span retired versions: 4 round acquisitions + 1.
+  EXPECT_EQ(s.acquisitions, 5u);
+}
+
+TEST_F(AdaptiveLockTest, SwapStormKeepsMutualExclusion) {
+  // Hammer with a hair-trigger monitor so swaps happen constantly in both
+  // directions; the non-atomic counter and the exact lifetime acquisition
+  // count catch any overlap between a retired version's holder and the
+  // successor's.
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  adaptive_lock lock({.window = 16,
+                      .escalate_pct = 1,
+                      .deescalate_pct = 1,
+                      .hysteresis = 1,
+                      .max_level = 2});
+  long counter = 0;  // non-atomic: the adaptive lock is the only sync
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+      adaptive_lock::context ctx;
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock(ctx);
+        ++counter;
+        lock.unlock(ctx);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+  // Exactly one acquisition counted per lock() across all versions.
+  EXPECT_EQ(lock.stats().acquisitions,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST_F(AdaptiveLockTest, KnobChainResolvesEnvThenFlags) {
+  // Env layer beats compiled defaults...
+  ::setenv("COHORT_ADAPTIVE_WINDOW", "123", 1);
+  ::setenv("COHORT_ADAPTIVE_ESCALATE", "77", 1);
+  ::setenv("COHORT_ADAPTIVE_DEESCALATE", "7", 1);
+  ::setenv("COHORT_ADAPTIVE_HYSTERESIS", "5", 1);
+  ::setenv("COHORT_ADAPTIVE_MAX_LEVEL", "3", 1);
+  ::setenv("COHORT_ADAPTIVE_GCR_WAITERS", "9", 1);
+  const adaptive_policy from_env = reg::effective_adaptive({});
+  EXPECT_EQ(from_env.window, 123u);
+  EXPECT_EQ(from_env.escalate_pct, 77u);
+  EXPECT_EQ(from_env.deescalate_pct, 7u);
+  EXPECT_EQ(from_env.hysteresis, 5u);
+  EXPECT_EQ(from_env.max_level, 3u);
+  EXPECT_EQ(from_env.gcr_waiters, 9u);
+  // ...and explicit params (the --adaptive-* flags) beat the env.
+  reg::lock_params lp;
+  lp.adaptive.window = 64;
+  lp.adaptive.max_level = 1;
+  const adaptive_policy from_flags = reg::effective_adaptive(lp);
+  EXPECT_EQ(from_flags.window, 64u);
+  EXPECT_EQ(from_flags.max_level, 1u);
+  EXPECT_EQ(from_flags.escalate_pct, 77u);  // env still fills the rest
+  for (const char* var :
+       {"COHORT_ADAPTIVE_WINDOW", "COHORT_ADAPTIVE_ESCALATE",
+        "COHORT_ADAPTIVE_DEESCALATE", "COHORT_ADAPTIVE_HYSTERESIS",
+        "COHORT_ADAPTIVE_MAX_LEVEL", "COHORT_ADAPTIVE_GCR_WAITERS"})
+    ::unsetenv(var);
+  // Back to compiled defaults once the env is clean.
+  EXPECT_EQ(reg::effective_adaptive({}).window, adaptive_policy{}.window);
+}
+
+TEST_F(AdaptiveLockTest, RegistryEntryBuildsAndReportsAdaptiveGauges) {
+  auto lock = reg::make_lock("adaptive", {.clusters = 2});
+  ASSERT_NE(lock, nullptr);
+  EXPECT_EQ(lock->name(), "adaptive");
+  EXPECT_FALSE(lock->abortable());
+  auto ctx = lock->make_context();
+  lock->lock(ctx);
+  lock->unlock(ctx);
+  const auto s = lock->stats();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->acquisitions, 1u);
+  EXPECT_EQ(s->current_policy, 1u);
+  EXPECT_EQ(s->policy_switches, 0u);
+  const reg::lock_descriptor* d = reg::find_lock("adaptive");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->family, reg::lock_family::adaptive);
+  EXPECT_TRUE(d->uses_adaptive_knobs);
+}
+
+TEST_F(AdaptiveLockTest, ShardedStoreEscalatesHotShardOnly) {
+  // The headline behaviour: under skewed load only the hot shard pays for a
+  // heavier lock; cold shards stay on the TATAS rung.
+  bool ran = false;
+  kvstore::with_store(
+      "adaptive", {.shards = 4, .buckets = 64},
+      {.adaptive = {.window = 64, .escalate_pct = 30, .hysteresis = 1}},
+      [&](auto& store) {
+        ran = true;
+        const std::string hot_key = "hot";
+        const std::size_t hot = store.shard_of(hot_key);
+        {
+          auto h = store.make_handle();
+          store.set(h, hot_key, "v");
+        }
+        // Hammer the one key with genuinely overlapping threads (a start
+        // barrier, then sustained load) until its shard escalates; with
+        // four threads on one lock the contended fraction is far above
+        // 30%, so the iteration bound only guards a broken monitor.
+        constexpr int kThreads = 4;
+        std::atomic<bool> go{false}, done{false};
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+          threads.emplace_back([&, t] {
+            cohort::numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+            auto h = store.make_handle();
+            while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+            for (int i = 0; i < 2'000'000 && !done.load(std::memory_order_relaxed);
+                 ++i)
+              ASSERT_TRUE(store.get(h, hot_key).has_value());
+          });
+        }
+        go.store(true, std::memory_order_release);
+        for (int spins = 0; spins < 20'000; ++spins) {
+          if (store.lock_stats(hot)->current_policy > 1u) break;
+          std::this_thread::yield();
+        }
+        done.store(true, std::memory_order_relaxed);
+        for (auto& th : threads) th.join();
+        EXPECT_GT(store.lock_stats(hot)->current_policy, 1u);
+        EXPECT_GT(store.lock_stats(hot)->policy_switches, 0u);
+        for (std::size_t s = 0; s < store.shard_count(); ++s) {
+          if (s == hot) continue;
+          EXPECT_EQ(store.lock_stats(s)->current_policy, 1u) << s;
+          EXPECT_EQ(store.lock_stats(s)->policy_switches, 0u) << s;
+        }
+      });
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace cohort

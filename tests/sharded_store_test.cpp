@@ -179,6 +179,77 @@ TEST(ShardedStoreConcurrent, EvictionBudgetHeldUnderContention) {
   }
 }
 
+// flush() walks every shard lock in turn while other handles keep reading
+// and writing -- the command layer's flush_all racing live traffic.  Run on
+// the adaptive lock with a hair-trigger monitor so the flusher's sweeps
+// overlap hot-swaps in flight: a flush must neither lose items it did not
+// race nor corrupt the counters, whichever rung each shard is on.
+TEST(ShardedStoreConcurrent, FlushRacesConcurrentGetSet) {
+  cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
+  bool ran = false;
+  with_store(
+      "adaptive", {.shards = 4, .buckets = 64},
+      {.adaptive = {.window = 32, .escalate_pct = 20, .hysteresis = 1}},
+      [&](auto& store) {
+        ran = true;
+        constexpr int kWriters = 3, kOps = 4000, kFlushes = 50;
+        std::atomic<std::uint64_t> total_gets{0}, total_sets{0};
+        std::atomic<bool> stop{false};
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kWriters; ++t) {
+          threads.emplace_back([&, t] {
+            cohort::numa::set_thread_cluster(static_cast<unsigned>(t % 2));
+            auto h = store.make_handle();
+            std::uint64_t gets = 0, sets = 0;
+            for (int i = 0; i < kOps; ++i) {
+              const std::string key = owned_key(t, i % 64);
+              store.set(h, key, "v");
+              ++sets;
+              // May miss if a flush swept between the set and the get;
+              // both outcomes are legal, the op just must not wedge.
+              (void)store.get(h, key);
+              ++gets;
+            }
+            total_gets.fetch_add(gets);
+            total_sets.fetch_add(sets);
+          });
+        }
+        std::thread flusher([&] {
+          cohort::numa::set_thread_cluster(1);
+          auto h = store.make_handle();
+          for (int i = 0; i < kFlushes; ++i) {
+            store.flush(h);
+            std::this_thread::yield();
+          }
+          stop.store(true);
+        });
+        for (auto& th : threads) th.join();
+        flusher.join();
+        EXPECT_TRUE(stop.load());
+
+        // Quiescent audit: flush preserves cumulative counters, so the op
+        // totals must balance exactly despite the races.
+        const kv_stats agg = store.stats();
+        EXPECT_EQ(agg.gets, total_gets.load());
+        EXPECT_EQ(agg.sets, total_sets.load());
+        EXPECT_LE(agg.get_hits, agg.gets);
+        EXPECT_EQ(agg.evictions, 0u);
+
+        // The store still works: re-set and read back, then a final flush
+        // with no concurrent writers empties it completely.
+        auto h = store.make_handle();
+        for (int t = 0; t < kWriters; ++t)
+          store.set(h, owned_key(t, 0), "again");
+        for (int t = 0; t < kWriters; ++t)
+          EXPECT_EQ(store.get(h, owned_key(t, 0)).value(), "again");
+        store.flush(h);
+        EXPECT_EQ(store.size(), 0u);
+        for (std::size_t s = 0; s < store.shard_count(); ++s)
+          EXPECT_EQ(store.shard(s).size(), 0u);
+      });
+  EXPECT_TRUE(ran);
+}
+
 TEST(ShardedStoreConcurrent, NumaPlacedStoreSurvivesMixedLoad) {
   cohort::numa::set_system_topology(cohort::numa::topology::synthetic(2));
   bool ran = false;
