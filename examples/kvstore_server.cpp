@@ -7,10 +7,16 @@
 //   printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 11222
 //
 // --port 0 binds an ephemeral port; the "listening on" line reports the
-// real one (the CI loopback smoke job scrapes it).  SIGINT/SIGTERM stop the
-// workers, drain the connections, and print the engine's quiescent shard
-// report before exiting 0 -- a clean shutdown under ASan is part of the CI
-// contract.
+// real one (the CI loopback smoke job scrapes it).  SIGINT/SIGTERM drain
+// gracefully -- stop accepting, finish buffered requests, flush replies,
+// force-close at --drain-ms -- and print the engine's quiescent report,
+// including the close-reason accounting the chaos script asserts, before
+// exiting 0.  A clean shutdown under ASan is part of the CI contract.
+//
+// --net-fault installs a fault plan (net/fault.hpp) into this process's
+// io_ops seam, so the binary can run its own chaos: injected short I/O,
+// EINTR/EAGAIN storms, resets, accept EMFILE, and stalls, all deterministic
+// under a fixed seed.  COHORT_NET_FAULT_* environment variables work too.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -22,6 +28,7 @@
 
 #include "kvstore/command.hpp"
 #include "locks/registry.hpp"
+#include "net/fault.hpp"
 #include "net/server.hpp"
 #include "numa/topology.hpp"
 
@@ -47,7 +54,17 @@ void usage(const char* argv0) {
       "  --max-value-bytes N  largest accepted value (default 1 MiB)\n"
       "  --pass-limit N       cohort may-pass-local bound (default 64)\n"
       "  --prefill N          preload N keys (key0..) before serving\n"
-      "  --duration S         serve S seconds then exit; 0 = until signal\n",
+      "  --duration S         serve S seconds then exit; 0 = until signal\n"
+      "  --net-fault SPEC     install a fault plan, e.g.\n"
+      "                       seed=42,short_read=0.1,reset=0.02 (default:\n"
+      "                       COHORT_NET_FAULT_* env, else none)\n"
+      "  --idle-timeout-ms N  evict connections idle this long (0 = off)\n"
+      "  --conn-lifetime-ms N evict connections older than this (0 = off)\n"
+      "  --max-requests N     close a connection after N requests (0 = off)\n"
+      "  --max-conns N        shed new sockets past N live connections per\n"
+      "                       worker (0 = off)\n"
+      "  --drain-ms N         graceful-drain deadline at shutdown\n"
+      "                       (default 2000)\n",
       argv0);
 }
 
@@ -69,6 +86,7 @@ int main(int argc, char** argv) {
   cohort::reg::lock_params lp;
   unsigned long long prefill = 0;
   double duration_s = 0.0;
+  std::string fault_spec;
   scfg.io_threads = 2;
 
   for (int i = 1; i < argc; ++i) {
@@ -107,6 +125,18 @@ int main(int argc, char** argv) {
       prefill = n;
     } else if (arg == "--duration") {
       duration_s = std::atof(next());
+    } else if (arg == "--net-fault") {
+      fault_spec = next();
+    } else if (arg == "--idle-timeout-ms" && parse_u64(next(), n)) {
+      scfg.idle_timeout_ms = static_cast<std::uint32_t>(n);
+    } else if (arg == "--conn-lifetime-ms" && parse_u64(next(), n)) {
+      scfg.max_conn_lifetime_ms = static_cast<std::uint32_t>(n);
+    } else if (arg == "--max-requests" && parse_u64(next(), n)) {
+      scfg.max_requests_per_conn = n;
+    } else if (arg == "--max-conns" && parse_u64(next(), n)) {
+      scfg.max_conns_per_worker = static_cast<unsigned>(n);
+    } else if (arg == "--drain-ms" && parse_u64(next(), n) && n > 0) {
+      scfg.drain_deadline_ms = static_cast<std::uint32_t>(n);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -132,6 +162,18 @@ int main(int argc, char** argv) {
                               kcfg.numa_place);
   }
 
+  cohort::net::fault_plan plan;
+  if (!fault_spec.empty()) {
+    std::string ferr;
+    if (!cohort::net::parse_fault_spec(fault_spec, &plan, &ferr)) {
+      std::fprintf(stderr, "bad --net-fault spec: %s\n", ferr.c_str());
+      return 2;
+    }
+  } else {
+    plan = cohort::net::fault_plan_from_env();
+  }
+  if (plan.active()) cohort::net::install_fault_plan(plan);
+
   cohort::net::kv_server server(*store, scfg);
   std::string err;
   if (!server.start(&err)) {
@@ -147,6 +189,9 @@ int main(int argc, char** argv) {
               lock_name.c_str(), store->shard_count(), scfg.io_threads,
               scfg.pin_io_threads ? ", pinned" : "",
               kcfg.numa_place ? ", numa-placed" : "");
+  if (plan.active())
+    std::printf("fault plan active (seed %llu)\n",
+                static_cast<unsigned long long>(plan.seed));
   std::fflush(stdout);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -158,7 +203,9 @@ int main(int argc, char** argv) {
       break;
   }
 
-  server.stop();
+  // Graceful exit: stop accepting, finish buffered requests, flush
+  // replies; whatever is still open at --drain-ms is force-closed.
+  const bool drain_clean = server.drain();
 
   // Workers joined: quiescent reads of the engine are exact now.
   const auto sc = server.counters();
@@ -168,6 +215,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sc.commands),
               static_cast<unsigned long long>(sc.connections),
               static_cast<unsigned long long>(sc.protocol_errors));
+  std::printf("closed=%llu shed=%llu timeouts=%llu resets=%llu "
+              "drained=%llu injected_faults=%llu\n",
+              static_cast<unsigned long long>(sc.closed),
+              static_cast<unsigned long long>(sc.shed),
+              static_cast<unsigned long long>(sc.timeouts),
+              static_cast<unsigned long long>(sc.resets),
+              static_cast<unsigned long long>(sc.drained),
+              static_cast<unsigned long long>(sc.injected_faults));
+  // The two lines the chaos script greps: every accepted connection must
+  // land in exactly one close-reason bucket, and the drain must have beaten
+  // its deadline.
+  const bool accounted = sc.connections == sc.shed + sc.closed +
+                                               sc.timeouts + sc.resets +
+                                               sc.drained;
+  std::printf("accounting %s\n", accounted ? "ok" : "MISMATCH");
+  std::printf("drain %s\n", drain_clean ? "ok" : "forced");
   std::printf("gets=%llu (hits %llu)  sets=%llu  deletes=%llu  items=%zu\n",
               static_cast<unsigned long long>(ks.gets),
               static_cast<unsigned long long>(ks.get_hits),
@@ -180,5 +243,5 @@ int main(int argc, char** argv) {
           s, store->home_cluster(s), store->shard(s).size(),
           ls->avg_batch());
   }
-  return 0;
+  return accounted ? 0 : 1;
 }

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Net chaos smoke (CI): start kvstore_server with an active fault plan and
+# every hardening knob engaged, hammer it with retrying clients
+# (`cohort_bench --workload kvnet --drive`), SIGTERM it mid-load, and
+# require:
+#   - the drive made real progress despite the injected faults,
+#   - the server exits 0 (under an ASan build dir that includes the leak
+#     check),
+#   - the quiescent report shows the plan fired (injected_faults > 0),
+#   - "accounting ok": accepted == shed + closed + timeouts + resets
+#     + drained,
+#   - "drain ok": the graceful drain beat its deadline.
+#
+#   BUILD_DIR=build-asan scripts/check_net_chaos.sh
+#
+# Environment knobs:
+#   BUILD_DIR   cmake build directory with kvstore_server + cohort_bench
+#                                                        (default: build)
+#   CHAOS_LOCK  registry cache lock for the server       (default: C-TKT-TKT)
+#   CHAOS_FAULT fault spec for the server                (default below)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+CHAOS_LOCK=${CHAOS_LOCK:-C-TKT-TKT}
+CHAOS_FAULT=${CHAOS_FAULT:-seed=20120225,short_read=0.05,short_write=0.05,eintr=0.02,reset=0.01,stall=0.01,stall_us=200}
+SERVER="$BUILD_DIR/kvstore_server"
+BENCH="$BUILD_DIR/cohort_bench"
+for bin in "$SERVER" "$BENCH"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+log=$(mktemp)
+drive_log=$(mktemp)
+server_pid=
+drive_pid=
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  [ -n "$drive_pid" ] && kill "$drive_pid" 2>/dev/null || true
+  rm -f "$log" "$drive_log"
+}
+trap cleanup EXIT
+
+"$SERVER" --port 0 --lock "$CHAOS_LOCK" --shards 4 --io-threads 2 \
+  --net-fault "$CHAOS_FAULT" \
+  --idle-timeout-ms 2000 --max-requests 500 --max-conns 32 \
+  --drain-ms 5000 > "$log" 2>&1 &
+server_pid=$!
+
+port=
+for _ in $(seq 1 100); do
+  port=$(awk '/^listening on / { n = split($3, a, ":"); print a[n]; exit }' "$log")
+  [ -n "$port" ] && break
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "error: server exited during startup" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "error: server never reported its port" >&2
+  cat "$log" >&2
+  exit 1
+fi
+grep -q "fault plan active" "$log" || {
+  echo "error: server did not report an active fault plan" >&2
+  cat "$log" >&2
+  exit 1
+}
+echo "server up on port $port (lock $CHAOS_LOCK, faults on), driving load"
+
+# Retrying load in the background; SIGTERM the server mid-drive so the
+# graceful drain runs with connections still open and requests in flight.
+"$BENCH" --workload kvnet --drive --net-port "$port" \
+  --threads 4 --duration 4 --net-op-timeout-ms 500 --net-retries 5 \
+  > "$drive_log" 2>&1 &
+drive_pid=$!
+
+sleep 2
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+server_pid=
+if [ "$rc" -ne 0 ]; then
+  echo "error: server exit code $rc (expected clean drain + accounting)" >&2
+  cat "$log" >&2
+  exit 1
+fi
+
+drive_rc=0
+wait "$drive_pid" || drive_rc=$?
+drive_pid=
+echo "--- drive log ---"
+cat "$drive_log"
+if [ "$drive_rc" -ne 0 ]; then
+  echo "error: drive made no progress (exit $drive_rc)" >&2
+  exit 1
+fi
+
+echo "--- server log ---"
+cat "$log"
+fail=0
+grep -q "^accounting ok$" "$log" || { echo "error: close-reason accounting mismatch" >&2; fail=1; }
+grep -q "^drain ok$" "$log" || { echo "error: drain missed its deadline" >&2; fail=1; }
+faults=$(awk '/injected_faults=/ { n = split($NF, a, "="); print a[n]; exit }' "$log")
+if [ -z "$faults" ] || [ "$faults" -eq 0 ]; then
+  echo "error: fault plan never fired (injected_faults=${faults:-missing})" >&2
+  fail=1
+fi
+[ "$fail" -eq 0 ] || exit 1
+echo "net chaos smoke passed (injected_faults=$faults)"

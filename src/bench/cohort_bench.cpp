@@ -77,8 +77,9 @@ void usage(const char* argv0) {
       "  --adaptive-gcr-waiters N  pinned waiters required for the gcr rung\n"
       "                          (default: COHORT_ADAPTIVE_GCR_WAITERS env,\n"
       "                          else online CPUs)\n"
-      "  --net-host H      server address for --smoke (default 127.0.0.1)\n"
-      "  --net-port P      server port for --smoke (required with --smoke)\n"
+      "  --net-host H      server address for --smoke/--drive (default\n"
+      "                    127.0.0.1)\n"
+      "  --net-port P      server port for --smoke/--drive (required)\n"
       "  --no-pin          skip CPU pinning\n"
       "  --json            emit JSON instead of a text summary\n",
       argv0, cohort::bench::workload_names_joined().c_str());
@@ -178,6 +179,7 @@ int main(int argc, char** argv) {
   bool run_all = false;
   bool emit_json = false;
   bool smoke = false;
+  bool drive = false;
   std::string net_host = "127.0.0.1";
   unsigned long long net_port = 0;
 
@@ -251,6 +253,24 @@ int main(int argc, char** argv) {
       cfg.net_pin_io = true;
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--drive") {
+      drive = true;
+    } else if (arg == "--net-fault") {
+      cfg.net_fault_spec = next();
+    } else if (arg == "--net-idle-ms" && parse_unsigned(next(), n)) {
+      cfg.net_idle_timeout_ms = static_cast<std::uint32_t>(n);
+    } else if (arg == "--net-lifetime-ms" && parse_unsigned(next(), n)) {
+      cfg.net_conn_lifetime_ms = static_cast<std::uint32_t>(n);
+    } else if (arg == "--net-max-requests" && parse_unsigned(next(), n)) {
+      cfg.net_max_requests = n;
+    } else if (arg == "--net-max-conns" && parse_unsigned(next(), n)) {
+      cfg.net_max_conns = static_cast<unsigned>(n);
+    } else if (arg == "--net-op-timeout-ms" && parse_unsigned(next(), n)) {
+      cfg.net_op_timeout_ms = static_cast<std::uint32_t>(n);
+    } else if (arg == "--net-retries" && parse_unsigned(next(), n)) {
+      cfg.net_retries = static_cast<unsigned>(n);
+    } else if (arg == "--net-drain-ms" && parse_unsigned(next(), n) && n > 0) {
+      cfg.net_drain_deadline_ms = static_cast<std::uint32_t>(n);
     } else if (arg == "--net-host") {
       net_host = next();
     } else if (arg == "--net-port" && parse_unsigned(next(), n) &&
@@ -339,6 +359,22 @@ int main(int argc, char** argv) {
     }
     return cohort::bench::run_kvnet_smoke(
         net_host, static_cast<std::uint16_t>(net_port));
+  }
+
+  if (drive) {
+    // Sustained best-effort load against an externally started server that
+    // may shed, stall, or die mid-run -- the chaos script's client half.
+    if (cfg.workload != "kvnet") {
+      std::fprintf(stderr, "%s: --drive requires --workload kvnet\n",
+                   argv[0]);
+      return 2;
+    }
+    if (net_port == 0) {
+      std::fprintf(stderr, "%s: --drive requires --net-port\n", argv[0]);
+      return 2;
+    }
+    return cohort::bench::run_kvnet_drive(
+        net_host, static_cast<std::uint16_t>(net_port), cfg);
   }
 
   if (run_all)

@@ -64,10 +64,28 @@ struct shard_probe {
   std::uint64_t policy_switches = 0;
 };
 
+// Server-side counter sample for the served workload (kvnet): the
+// kv_server's per-worker cells are single-writer and safe to sum live, so
+// windows[] can carry accepts/sheds/timeouts/faults over time.  Kept as a
+// plain struct here (not net::server_counters) so the driver skeleton has
+// no dependency on the net layer.
+struct net_probe {
+  bool present = false;
+  std::uint64_t connections = 0;
+  std::uint64_t commands = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t drained = 0;
+  std::uint64_t injected_faults = 0;
+};
+
 struct probe {
   bool has_stats = false;           // cohort batching counters available
   reg::erased_stats stats{};        // summed over the workload's locks
   std::vector<shard_probe> shards;  // empty for non-sharded workloads
+  net_probe net{};                  // present only for served workloads
 };
 
 // One mid-run counter sample, taken by the coordinator while the workers
@@ -296,6 +314,20 @@ inline void fill_window_result(bench_result& res, const window_totals& w) {
                            ? static_cast<double>(slow) /
                                  static_cast<double>(win.global_acquires)
                            : static_cast<double>(slow);
+    }
+    if (a.counters.net.present && b.counters.net.present) {
+      win.has_net = true;
+      win.net_connections =
+          b.counters.net.connections - a.counters.net.connections;
+      win.net_commands = b.counters.net.commands - a.counters.net.commands;
+      win.net_protocol_errors =
+          b.counters.net.protocol_errors - a.counters.net.protocol_errors;
+      win.net_shed = b.counters.net.shed - a.counters.net.shed;
+      win.net_timeouts = b.counters.net.timeouts - a.counters.net.timeouts;
+      win.net_resets = b.counters.net.resets - a.counters.net.resets;
+      win.net_drained = b.counters.net.drained - a.counters.net.drained;
+      win.net_injected_faults =
+          b.counters.net.injected_faults - a.counters.net.injected_faults;
     }
     // Per-shard hit-rate deltas (kv workloads): both samples must have seen
     // the same shard set.

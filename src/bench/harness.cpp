@@ -177,8 +177,11 @@ json to_json(const bench_result& r) {
   // Record-shape version for downstream plotting: 1 = pre-adaptive records,
   // 2 = adaptive telemetry keys (cohort.policy_switches /
   // cohort.current_policy in the whole-run block and every windows[] entry,
-  // per_shard[].current_policy, adaptive_* knobs).  Bump on any key change.
-  rec.set("schema_version", static_cast<std::uint64_t>(2));
+  // per_shard[].current_policy, adaptive_* knobs), 3 = net robustness keys
+  // (net.{closed,shed,timeouts,resets,drained,injected_faults,
+  // client_retries,drain_clean} and a "net" delta object in kvnet
+  // windows[]).  Bump on any key change.
+  rec.set("schema_version", static_cast<std::uint64_t>(3));
   rec.set("workload", r.config.workload);
   rec.set("lock", r.config.lock_name);
   rec.set("threads", r.config.threads);
@@ -206,6 +209,13 @@ json to_json(const bench_result& r) {
     if (kvnet) {
       rec.set("io_threads", r.config.net_io_threads);
       rec.set("net_pin_io", r.config.net_pin_io);
+      if (!r.config.net_fault_spec.empty())
+        rec.set("net_fault", r.config.net_fault_spec);
+      rec.set("net_idle_timeout_ms", r.config.net_idle_timeout_ms);
+      rec.set("net_max_conns", r.config.net_max_conns);
+      rec.set("net_op_timeout_ms", r.config.net_op_timeout_ms);
+      rec.set("net_retries", r.config.net_retries);
+      rec.set("net_drain_deadline_ms", r.config.net_drain_deadline_ms);
     }
   } else if (alloc) {
     rec.set("alloc_min", static_cast<std::uint64_t>(r.config.alloc_min));
@@ -293,6 +303,14 @@ json to_json(const bench_result& r) {
     net.set("connections", r.net_connections);
     net.set("commands", r.net_commands);
     net.set("protocol_errors", r.net_protocol_errors);
+    net.set("closed", r.net_closed);
+    net.set("shed", r.net_shed);
+    net.set("timeouts", r.net_timeouts);
+    net.set("resets", r.net_resets);
+    net.set("drained", r.net_drained);
+    net.set("injected_faults", r.net_injected_faults);
+    net.set("client_retries", r.net_client_retries);
+    net.set("drain_clean", r.net_drain_clean);
     rec.set("net", std::move(net));
   }
   json ops = json::array();
@@ -376,6 +394,20 @@ json to_json(const bench_result& r) {
       cj.set("current_policy", w.current_policy);
       cj.set("mean_batch", w.mean_batch);
       wj.set("cohort", std::move(cj));
+    }
+    // Served-path deltas over time (kvnet): accepts, answered commands,
+    // and the robustness events inside this window.
+    if (w.has_net) {
+      json nj = json::object();
+      nj.set("connections", w.net_connections);
+      nj.set("commands", w.net_commands);
+      nj.set("protocol_errors", w.net_protocol_errors);
+      nj.set("shed", w.net_shed);
+      nj.set("timeouts", w.net_timeouts);
+      nj.set("resets", w.net_resets);
+      nj.set("drained", w.net_drained);
+      nj.set("injected_faults", w.net_injected_faults);
+      wj.set("net", std::move(nj));
     }
     // Per-shard hit-rate over time (kv workloads): one entry per shard.
     if (!w.shards.empty()) {

@@ -91,6 +91,20 @@ struct bench_config {
   // mix, but served over loopback sockets by the in-process net front-end.
   unsigned net_io_threads = 2;  // server event-loop threads
   bool net_pin_io = false;      // pin server workers to clusters
+  // Fault plan for the io_ops seam ("seed=42,short_read=0.1,..."; see
+  // net/fault.hpp).  Empty = COHORT_NET_FAULT_* env, which defaults to no
+  // faults.
+  std::string net_fault_spec;
+  // Server hardening knobs (net/server.hpp; 0 = feature off / unlimited).
+  std::uint32_t net_idle_timeout_ms = 0;
+  std::uint32_t net_conn_lifetime_ms = 0;
+  std::uint64_t net_max_requests = 0;
+  unsigned net_max_conns = 0;          // per worker; excess is shed
+  std::uint32_t net_drain_deadline_ms = 2000;
+  // Client resilience: per-op deadline and transient-failure retry budget
+  // (net/client.hpp).
+  std::uint32_t net_op_timeout_ms = 0;
+  unsigned net_retries = 0;
 
   // "alloc" workload parameters (mmicro's allocate/write/free loop).
   std::size_t alloc_min = 64;     // smallest request size, bytes
@@ -185,6 +199,18 @@ struct bench_window {
   // When the window saw acquisitions but no migration, the batch outlasted
   // the window and the count is a lower bound.
   double mean_batch = 0.0;
+  // Server-side deltas over this window (kvnet only; has_net == false
+  // otherwise): accepts, answered commands, and the robustness events --
+  // sheds, timeout evictions, resets, drain closes, injected faults.
+  bool has_net = false;
+  std::uint64_t net_connections = 0;
+  std::uint64_t net_commands = 0;
+  std::uint64_t net_protocol_errors = 0;
+  std::uint64_t net_shed = 0;
+  std::uint64_t net_timeouts = 0;
+  std::uint64_t net_resets = 0;
+  std::uint64_t net_drained = 0;
+  std::uint64_t net_injected_faults = 0;
   // Per-shard hit-rate over this window (kv workloads; empty otherwise).
   std::vector<shard_window> shards;
 };
@@ -247,12 +273,24 @@ struct bench_result {
   std::uint64_t tag_mismatches = 0;     // double-handout detections
   std::vector<arena_report> arena_reports;
 
-  // "kvnet" workload outputs: server-side counters at shutdown.  The audit
-  // additionally requires protocol_errors == 0 and one answered command
-  // per client op.
+  // "kvnet" workload outputs: server-side counters after the drain.  With
+  // no fault plan the audit requires protocol_errors == 0 and one answered
+  // command per client op; with faults active, retried ops may execute
+  // more than once, so the audit relaxes to bounded inequalities (see
+  // run_kvnet_bench).  In both cases the close-reason identity
+  //   connections == shed + closed + timeouts + resets + drained
+  // must hold exactly.
   std::uint64_t net_connections = 0;
   std::uint64_t net_commands = 0;
   std::uint64_t net_protocol_errors = 0;
+  std::uint64_t net_closed = 0;
+  std::uint64_t net_shed = 0;
+  std::uint64_t net_timeouts = 0;
+  std::uint64_t net_resets = 0;
+  std::uint64_t net_drained = 0;
+  std::uint64_t net_injected_faults = 0;
+  std::uint64_t net_client_retries = 0;  // summed over all client conns
+  bool net_drain_clean = false;  // drain() finished before its deadline
 };
 
 // Installs a topology honouring cfg.clusters: the discovered topology

@@ -13,19 +13,49 @@
 // `cohort_bench --workload kvnet --smoke`: it drives an *externally*
 // started server binary (CI's loopback smoke job) through
 // get/set/delete/stats plus the error paths, and reports pass/fail.
+// run_kvnet_drive() (--drive) is the chaos-script counterpart: sustained
+// retrying load against an external server that is expected to misbehave.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 
 #include "bench/driver.hpp"
 #include "bench/kv_common.hpp"
 #include "bench/workload.hpp"
 #include "kvstore/command.hpp"
 #include "net/client.hpp"
+#include "net/fault.hpp"
 #include "net/server.hpp"
 #include "util/rng.hpp"
 
 namespace cohort::bench {
+
+namespace {
+
+// Install the run's fault plan (CLI spec wins over the environment) for
+// the lifetime of the benchmark; restore the real io_ops table on every
+// exit path so a thrown config error cannot leak faults into later runs.
+struct scoped_fault_plan {
+  net::fault_plan plan{};
+  explicit scoped_fault_plan(const std::string& spec) {
+    if (!spec.empty()) {
+      std::string err;
+      if (!net::parse_fault_spec(spec, &plan, &err))
+        throw std::invalid_argument("bench: bad --net-fault spec: " + err);
+    } else {
+      plan = net::fault_plan_from_env();
+    }
+    if (plan.active()) net::install_fault_plan(plan);
+  }
+  ~scoped_fault_plan() {
+    if (plan.active()) net::clear_fault_plan();
+  }
+};
+
+}  // namespace
 
 bench_result run_kvnet_bench(const bench_config& cfg) {
   detail::validate_kv_config(cfg);
@@ -50,11 +80,18 @@ bench_result run_kvnet_bench(const bench_config& cfg) {
   kvstore::prefill_keyspace(*store, keys, value, cfg.numa_place);
   const std::uint64_t prefill_sets = store->stats().sets;
 
+  const scoped_fault_plan faults(cfg.net_fault_spec);
+
   net::server_config scfg;
   scfg.host = "127.0.0.1";
   scfg.port = 0;  // ephemeral
   scfg.io_threads = cfg.net_io_threads;
   scfg.pin_io_threads = cfg.net_pin_io;
+  scfg.max_conns_per_worker = cfg.net_max_conns;
+  scfg.idle_timeout_ms = cfg.net_idle_timeout_ms;
+  scfg.max_conn_lifetime_ms = cfg.net_conn_lifetime_ms;
+  scfg.max_requests_per_conn = cfg.net_max_requests;
+  scfg.drain_deadline_ms = cfg.net_drain_deadline_ms;
   net::kv_server server(*store, scfg);
   std::string err;
   if (!server.start(&err))
@@ -62,36 +99,107 @@ bench_result run_kvnet_bench(const bench_config& cfg) {
 
   const kvstore::mix_workload mix(keys, cfg.get_ratio, cfg.zipf_theta, value);
 
+  // Clients live in the workload (not the bodies) so their retry counters
+  // survive the worker joins and can be summed into the record.
+  const net::client_config ccfg{.op_timeout_ms = cfg.net_op_timeout_ms,
+                                .max_retries = cfg.net_retries};
+  std::vector<std::unique_ptr<net::memcache_client>> clients(cfg.threads);
+  for (auto& cl : clients)
+    cl = std::make_unique<net::memcache_client>(ccfg);
+
   auto make_body = [&](unsigned tid) {
     // One blocking connection per worker, opened on the worker's own
-    // thread.  A connect failure yields a body that only reports failed
-    // ops, so the run completes and the audit flags it.
-    auto client = std::make_unique<net::memcache_client>();
-    (void)client->connect("127.0.0.1", server.port());
-    return [&mix, cl = std::move(client),
+    // thread.  With retries configured a dropped connection re-dials
+    // inside the client; without them a connect failure yields a body
+    // that only reports failed ops, so the run completes and the audit
+    // flags it.
+    net::memcache_client* cl = clients[tid].get();
+    (void)cl->connect("127.0.0.1", server.port());
+    return [&mix, cl, retry = cfg.net_retries > 0,
             rng = xorshift(0x6e37517eadULL + tid)]() mutable {
-      if (!cl->connected()) return false;
+      if (!cl->connected() && !retry) return false;
       return mix.step(*cl, rng) != kvstore::cmd_status::error;
     };
   };
-  // The served path samples the same store cells as the in-process one.
-  auto sample = [&] { return detail::sample_kv_probe(*store); };
+  // The served path samples the same store cells as the in-process one,
+  // plus the server's per-worker robustness cells (single-writer, safe to
+  // sum live) so windows[] carries accepts/sheds/timeouts/faults over time.
+  auto sample = [&] {
+    detail::probe p = detail::sample_kv_probe(*store);
+    const net::server_counters live = server.counters();
+    p.net.present = true;
+    p.net.connections = live.connections;
+    p.net.commands = live.commands;
+    p.net.protocol_errors = live.protocol_errors;
+    p.net.shed = live.shed;
+    p.net.timeouts = live.timeouts;
+    p.net.resets = live.resets;
+    p.net.drained = live.drained;
+    p.net.injected_faults = live.injected_faults;
+    return p;
+  };
   const auto totals = detail::run_window(cfg, make_body, sample);
 
-  // Workers are joined, every round trip completed: the server is idle.
-  server.stop();
+  // Workers are joined.  Drain rather than stop: buffered requests finish,
+  // replies flush, and every connection lands in exactly one close-reason
+  // bucket -- that is what makes the accounting identity below assertable.
+  const bool drain_clean = server.drain();
   const net::server_counters sc = server.counters();
+
+  std::uint64_t client_retries = 0;
+  for (const auto& cl : clients) client_retries += cl->retries();
 
   detail::fill_window_result(res, totals);
   detail::fill_kv_result(*store, res, prefill_sets);
   res.net_connections = sc.connections;
   res.net_commands = sc.commands;
   res.net_protocol_errors = sc.protocol_errors;
-  // A clean run answers exactly one command per client op, with no
-  // protocol errors; fold that into the audit.
-  res.mutual_exclusion_ok =
-      res.mutual_exclusion_ok && sc.protocol_errors == 0 &&
-      sc.commands == res.whole_run_ops + res.whole_run_timeouts;
+  res.net_closed = sc.closed;
+  res.net_shed = sc.shed;
+  res.net_timeouts = sc.timeouts;
+  res.net_resets = sc.resets;
+  res.net_drained = sc.drained;
+  res.net_injected_faults = sc.injected_faults;
+  res.net_client_retries = client_retries;
+  res.net_drain_clean = drain_clean;
+
+  // Audit.  Always: every accepted connection must land in exactly one
+  // close-reason bucket.
+  bool net_ok = sc.connections ==
+                sc.shed + sc.closed + sc.timeouts + sc.resets + sc.drained;
+  const bool perturbed = faults.plan.active() || cfg.net_retries > 0 ||
+                         cfg.net_max_conns != 0 ||
+                         cfg.net_idle_timeout_ms != 0 ||
+                         cfg.net_conn_lifetime_ms != 0 ||
+                         cfg.net_max_requests != 0 ||
+                         cfg.net_op_timeout_ms != 0;
+  if (!perturbed) {
+    // Clean run: exactly one answered command per client op, no error
+    // replies -- the strict pre-hardening contract.
+    net_ok = net_ok && sc.protocol_errors == 0 &&
+             sc.commands == res.whole_run_ops + res.whole_run_timeouts;
+  } else {
+    // Faults or hardening in play: a retried op can execute server-side
+    // more than once, so the client-side count is bounded instead of
+    // exact.  Every successful client op completed one full exchange
+    // (>=), and every client attempt -- ops + failures + retries -- sent
+    // at most one request (<=).  Error replies can only come from
+    // attempts that died mid-exchange or were shed.
+    const std::uint64_t attempts =
+        res.whole_run_ops + res.whole_run_timeouts + client_retries;
+    net_ok = net_ok && sc.commands >= res.whole_run_ops &&
+             sc.commands <= attempts &&
+             sc.protocol_errors <= res.whole_run_timeouts + client_retries;
+    // The store-counter identity stays *exact* on the served side: the mix
+    // issues one get/set/delete per request, so every answered command
+    // bumped exactly one kv counter -- fill_kv_result compared against
+    // client ops, which undercounts retried work; recompute against the
+    // server's answered-command count instead.
+    const std::uint64_t kv_ops = res.kv.gets + res.kv.sets + res.kv.deletes;
+    res.mutual_exclusion_ok = kv_ops == prefill_sets + sc.commands &&
+                              res.kv.get_hits <= res.kv.gets;
+  }
+  res.mutual_exclusion_ok = res.mutual_exclusion_ok && net_ok;
   return res;
 }
 
@@ -165,6 +273,68 @@ int run_kvnet_smoke(const std::string& host, std::uint16_t port) {
   cl.quit();
   std::printf("%s\n", ok ? "kvnet smoke PASSED" : "kvnet smoke FAILED");
   return ok ? 0 : 1;
+}
+
+int run_kvnet_drive(const std::string& host, std::uint16_t port,
+                    const bench_config& cfg) {
+  // Sustained best-effort load for the chaos script: the server on the
+  // other end is expected to shed, stall, inject faults, and eventually
+  // drain away mid-run, so per-op failures are data, not errors.  Success
+  // means the drive made real progress (some ops completed round trips),
+  // not that every op did.
+  const auto keys =
+      kvstore::make_keyspace(cfg.keyspace != 0 ? cfg.keyspace : 1);
+  const std::string value(cfg.value_bytes, 'v');
+  const kvstore::mix_workload mix(keys, cfg.get_ratio, cfg.zipf_theta, value);
+  const net::client_config ccfg{.op_timeout_ms = cfg.net_op_timeout_ms != 0
+                                    ? cfg.net_op_timeout_ms
+                                    : 1000,
+                                .max_retries = cfg.net_retries};
+
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> retries{0};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(cfg.duration_s));
+
+  auto drive = [&](unsigned tid) {
+    net::memcache_client cl(ccfg);
+    xorshift rng(0xd21fe5eedULL + tid);
+    std::uint64_t my_ops = 0;
+    std::uint64_t my_errors = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (!cl.connected() && !cl.connect(host, port)) {
+        // Server mid-restart or gone (the script kills it under us): back
+        // off briefly and keep trying until the deadline.
+        ++my_errors;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      if (mix.step(cl, rng) != kvstore::cmd_status::error)
+        ++my_ops;
+      else
+        ++my_errors;
+    }
+    ops.fetch_add(my_ops, std::memory_order_relaxed);
+    errors.fetch_add(my_errors, std::memory_order_relaxed);
+    retries.fetch_add(cl.retries(), std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> threads;
+  const unsigned n = cfg.threads != 0 ? cfg.threads : 1;
+  threads.reserve(n);
+  for (unsigned t = 0; t < n; ++t) threads.emplace_back(drive, t);
+  for (auto& th : threads) th.join();
+
+  const std::uint64_t done = ops.load();
+  std::printf("kvnet drive: ops=%llu errors=%llu retries=%llu\n",
+              static_cast<unsigned long long>(done),
+              static_cast<unsigned long long>(errors.load()),
+              static_cast<unsigned long long>(retries.load()));
+  std::printf("kvnet drive %s\n", done > 0 ? "PASSED" : "FAILED");
+  return done > 0 ? 0 : 1;
 }
 
 }  // namespace cohort::bench

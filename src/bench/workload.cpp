@@ -34,8 +34,10 @@ const std::vector<workload_info>& all_workloads() {
       {"kvnet",
        "the kv mix served over loopback sockets by the epoll front-end "
        "(§4.2 end to end)",
-       "the kv counter identity, plus: the server answered exactly one "
-       "command per client op with zero protocol errors",
+       "the kv counter identity, plus accounting: accepted connections "
+       "equal shed + closed + timed-out + reset + drained, and answered "
+       "commands match client ops exactly (clean run) or within the "
+       "retry/timeout bounds (faulted run)",
        {{"--shards N", "independent shards (default 1)"},
         {"--get-ratio G", "fraction of gets, 0..1 (default 0.9)"},
         {"--zipf T", "key-skew Zipf exponent (default 0 = uniform)"},
@@ -46,8 +48,27 @@ const std::vector<workload_info>& all_workloads() {
         {"--numa-place", "first-touch shards on their home cluster"},
         {"--io-threads N", "server event-loop threads (default 2)"},
         {"--net-pin", "pin server io threads to clusters"},
+        {"--net-fault SPEC", "install a fault plan, e.g. "
+                             "seed=42,short_read=0.1,reset=0.02 (default "
+                             "COHORT_NET_FAULT_* env, else none)"},
+        {"--net-idle-ms N", "evict connections idle this long (default 0 "
+                            "= off)"},
+        {"--net-lifetime-ms N",
+         "evict connections older than this (default 0 = off)"},
+        {"--net-max-requests N",
+         "close a connection after N requests (default 0 = off)"},
+        {"--net-max-conns N", "shed new sockets past N live connections "
+                              "per worker (default 0 = off)"},
+        {"--net-op-timeout-ms N",
+         "client-side per-op deadline (default 0 = block forever)"},
+        {"--net-retries N", "client retries per op on transient failure "
+                            "(default 0)"},
+        {"--net-drain-ms N",
+         "graceful-drain deadline at shutdown (default 2000)"},
         {"--smoke", "scripted protocol exchange against --net-host/"
-                    "--net-port instead of a benchmark run"}},
+                    "--net-port instead of a benchmark run"},
+        {"--drive", "sustained best-effort load against --net-host/"
+                    "--net-port (chaos-script client)"}},
        &run_kvnet_bench},
       {"alloc",
        "mmicro allocate/write/free loop on the splay-tree arena (Table 2)",

@@ -66,4 +66,12 @@ bench_result run_alloc_bench(const bench_config& cfg);
 // code (0 = all passed).
 int run_kvnet_smoke(const std::string& host, std::uint16_t port);
 
+// Sustained best-effort load against an externally started server that is
+// expected to misbehave (`cohort_bench --workload kvnet --drive`): cfg
+// supplies threads, duration, mix shape, and the client resilience knobs.
+// Per-op failures are tolerated; returns 0 when the drive completed some
+// round trips.
+int run_kvnet_drive(const std::string& host, std::uint16_t port,
+                    const bench_config& cfg);
+
 }  // namespace cohort::bench

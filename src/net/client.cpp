@@ -3,16 +3,47 @@
 #include <cerrno>
 #include <cstring>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
+
+#include <algorithm>
+
+#include "net/io_ops.hpp"
 
 namespace cohort::net {
 
 using kvstore::cmd_status;
 
+namespace {
+
+void sleep_ms(std::uint32_t ms) {
+  timespec ts{ms / 1000, static_cast<long>(ms % 1000) * 1000000};
+  ::nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+bool memcache_client::apply_timeouts() {
+  if (cfg_.op_timeout_ms == 0) return true;
+  timeval tv{};
+  tv.tv_sec = cfg_.op_timeout_ms / 1000;
+  tv.tv_usec = static_cast<long>(cfg_.op_timeout_ms % 1000) * 1000;
+  return ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) ==
+             0 &&
+         ::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) ==
+             0;
+}
+
 bool memcache_client::connect(const std::string& host, std::uint16_t port) {
+  host_ = host;
+  port_ = port;
   fd_ = connect_tcp(host, port, &error_);
   rbuf_.clear();
   rpos_ = 0;
+  if (fd_.valid() && !apply_timeouts()) {
+    error_ = std::string("setsockopt(SO_RCVTIMEO): ") + std::strerror(errno);
+    fd_.reset();
+  }
   return fd_.valid();
 }
 
@@ -24,11 +55,17 @@ bool memcache_client::send_raw(const std::string& bytes) {
   std::size_t off = 0;
   while (off < bytes.size()) {
     // MSG_NOSIGNAL: a dropped server must surface as EPIPE, not SIGPIPE.
-    const ssize_t n = ::send(fd_.get(), bytes.data() + off,
-                             bytes.size() - off, MSG_NOSIGNAL);
+    const ssize_t n = io().send(fd_.get(), bytes.data() + off,
+                                bytes.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      error_ = std::string("send: ") + std::strerror(errno);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the op deadline passed with the server not
+        // draining its socket.
+        error_ = "send timeout";
+      } else {
+        error_ = std::string("send: ") + std::strerror(errno);
+      }
       fd_.reset();
       return false;
     }
@@ -45,10 +82,13 @@ bool memcache_client::fill() {
   char buf[16384];
   ssize_t n;
   do {
-    n = ::read(fd_.get(), buf, sizeof(buf));
+    n = io().read(fd_.get(), buf, sizeof(buf));
   } while (n < 0 && errno == EINTR);
   if (n < 0) {
-    error_ = std::string("read: ") + std::strerror(errno);
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      error_ = "read timeout";  // SO_RCVTIMEO expired
+    else
+      error_ = std::string("read: ") + std::strerror(errno);
     fd_.reset();
     return false;
   }
@@ -98,11 +138,70 @@ bool memcache_client::read_exact(std::size_t n, std::string* out) {
   return true;
 }
 
+bool memcache_client::busy_reply(const std::string& line) {
+  if (line.rfind("SERVER_ERROR busy", 0) != 0) return false;
+  // Shed at admission: the server already closed its side; any buffered
+  // bytes belong to a dead conversation.
+  busy_ = true;
+  error_ = "server busy (shed)";
+  fd_.reset();
+  return true;
+}
+
+// Re-run `op` after a *transient* failure: the transport died (reset,
+// timeout, refused reconnect -- the server may be mid-restart) or the
+// server shed us with SERVER_ERROR busy.  A protocol violation on a live
+// connection is a bug, not weather, and is returned as-is.  Each retry
+// reconnects first (the failed attempt left the transport dead) and backs
+// off exponentially.
+template <typename Op>
+cmd_status memcache_client::with_retry(Op&& op) {
+  std::uint32_t backoff = std::max<std::uint32_t>(1, cfg_.backoff_base_ms);
+  const std::uint32_t backoff_cap =
+      std::max<std::uint32_t>(backoff, cfg_.backoff_max_ms);
+  for (unsigned attempt = 0;; ++attempt) {
+    busy_ = false;
+    if (!fd_.valid() && host_.empty()) {
+      error_ = "not connected";
+      return cmd_status::error;
+    }
+    if (fd_.valid() || connect(host_, port_)) {
+      const cmd_status st = op();
+      if (st != cmd_status::error) return st;
+      // Transient = transport gone (reset/timeout/busy killed the fd).
+      if (fd_.valid()) return st;
+    }
+    if (attempt >= cfg_.max_retries) return cmd_status::error;
+    ++retries_;
+    sleep_ms(backoff);
+    backoff = std::min(backoff * 2, backoff_cap);
+  }
+}
+
 cmd_status memcache_client::get(const std::string& key, std::string* out) {
+  return with_retry([&] { return do_get(key, out); });
+}
+
+cmd_status memcache_client::set(const std::string& key,
+                                const std::string& value) {
+  return with_retry([&] { return do_set(key, value); });
+}
+
+cmd_status memcache_client::del(const std::string& key) {
+  return with_retry([&] { return do_del(key); });
+}
+
+cmd_status memcache_client::flush() {
+  return with_retry([&] { return do_flush(); });
+}
+
+cmd_status memcache_client::do_get(const std::string& key,
+                                   std::string* out) {
   if (!send_raw("get " + key + "\r\n")) return cmd_status::error;
   std::string line;
   if (!read_line(&line)) return cmd_status::error;
   if (line == "END") return cmd_status::miss;
+  if (busy_reply(line)) return cmd_status::error;
   // VALUE <key> <flags> <bytes>
   if (line.rfind("VALUE ", 0) != 0) {
     error_ = "unexpected get reply: " + line;
@@ -130,8 +229,8 @@ cmd_status memcache_client::get(const std::string& key, std::string* out) {
   return cmd_status::hit;
 }
 
-cmd_status memcache_client::set(const std::string& key,
-                                const std::string& value) {
+cmd_status memcache_client::do_set(const std::string& key,
+                                   const std::string& value) {
   std::string req = "set " + key + " 0 0 " + std::to_string(value.size()) +
                     "\r\n";
   req += value;
@@ -142,25 +241,28 @@ cmd_status memcache_client::set(const std::string& key,
   if (line == "STORED") return cmd_status::stored;
   if (line.rfind("SERVER_ERROR object too large", 0) == 0)
     return cmd_status::too_large;
+  if (busy_reply(line)) return cmd_status::error;
   error_ = "unexpected set reply: " + line;
   return cmd_status::error;
 }
 
-cmd_status memcache_client::del(const std::string& key) {
+cmd_status memcache_client::do_del(const std::string& key) {
   if (!send_raw("delete " + key + "\r\n")) return cmd_status::error;
   std::string line;
   if (!read_line(&line)) return cmd_status::error;
   if (line == "DELETED") return cmd_status::deleted;
   if (line == "NOT_FOUND") return cmd_status::not_found;
+  if (busy_reply(line)) return cmd_status::error;
   error_ = "unexpected delete reply: " + line;
   return cmd_status::error;
 }
 
-cmd_status memcache_client::flush() {
+cmd_status memcache_client::do_flush() {
   if (!send_raw("flush_all\r\n")) return cmd_status::error;
   std::string line;
   if (!read_line(&line)) return cmd_status::error;
   if (line == "OK") return cmd_status::ok;
+  if (busy_reply(line)) return cmd_status::error;
   error_ = "unexpected flush_all reply: " + line;
   return cmd_status::error;
 }

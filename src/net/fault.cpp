@@ -1,0 +1,271 @@
+#include "net/fault.hpp"
+
+#include <errno.h>
+#include <time.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+#include "net/io_ops.hpp"
+#include "util/rng.hpp"
+
+namespace cohort::net {
+namespace {
+
+fault_counters g_stats;
+
+// The installed plan.  Guarded by g_plan_mu for writers; readers take a
+// copy under the lock only on their first draw per epoch (see die below),
+// so the per-op cost is an atomic epoch load.
+std::mutex g_plan_mu;
+fault_plan g_plan;
+std::atomic<std::uint64_t> g_epoch{0};   // bumped on every install
+std::atomic<std::uint64_t> g_streams{0}; // thread stream allocator
+
+// Each thread draws from its own xorshift stream, (re)seeded from the plan
+// seed + a fresh stream id whenever the install epoch changes.  Same seed
+// => same per-thread schedule, independent of what other threads do.
+struct die {
+  xorshift rng{0};
+  fault_plan plan;                 // copy; no lock on the draw path
+  std::uint64_t epoch = ~0ULL;
+
+  void refresh() {
+    const std::uint64_t e = g_epoch.load(std::memory_order_acquire);
+    if (epoch == e) return;
+    epoch = e;
+    {
+      std::lock_guard<std::mutex> lk(g_plan_mu);
+      plan = g_plan;
+    }
+    std::uint64_t s =
+        plan.seed + 0x9e3779b97f4a7c15ULL *
+                        (1 + g_streams.fetch_add(1, std::memory_order_relaxed));
+    rng = xorshift(splitmix64(s));
+  }
+  bool roll(double p) { return p > 0 && rng.next_double() < p; }
+};
+
+die& this_die() {
+  thread_local die d;
+  d.refresh();
+  return d;
+}
+
+void bump(std::atomic<std::uint64_t>& c) {
+  c.fetch_add(1, std::memory_order_relaxed);
+}
+
+void maybe_stall(die& d) {
+  if (!d.roll(d.plan.stall)) return;
+  bump(g_stats.stalls);
+  const std::uint32_t us = std::clamp(d.plan.stall_us, 1u, 100000u);
+  timespec ts{us / 1000000, static_cast<long>(us % 1000000) * 1000};
+  ::nanosleep(&ts, nullptr);
+}
+
+ssize_t faulty_read(int fd, void* buf, std::size_t n) {
+  die& d = this_die();
+  maybe_stall(d);
+  if (d.roll(d.plan.eintr)) {
+    bump(g_stats.eintrs);
+    errno = EINTR;
+    return -1;
+  }
+  if (d.roll(d.plan.eagain)) {
+    bump(g_stats.eagains);
+    errno = EAGAIN;
+    return -1;
+  }
+  if (d.roll(d.plan.reset)) {
+    bump(g_stats.resets);
+    errno = ECONNRESET;
+    return -1;
+  }
+  // Short read: ask the kernel for only a prefix, so unread bytes stay
+  // queued in the socket and the caller's resume logic gets exercised.
+  if (n > 1 && d.roll(d.plan.short_read)) {
+    bump(g_stats.short_reads);
+    n = 1 + static_cast<std::size_t>(d.rng.next_range(n - 1));
+  }
+  return real_io_ops().read(fd, buf, n);
+}
+
+ssize_t faulty_send(int fd, const void* buf, std::size_t n, int flags) {
+  die& d = this_die();
+  maybe_stall(d);
+  if (d.roll(d.plan.eintr)) {
+    bump(g_stats.eintrs);
+    errno = EINTR;
+    return -1;
+  }
+  if (d.roll(d.plan.eagain)) {
+    bump(g_stats.eagains);
+    errno = EAGAIN;
+    return -1;
+  }
+  if (d.roll(d.plan.reset)) {
+    bump(g_stats.resets);
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (n > 1 && d.roll(d.plan.short_write)) {
+    bump(g_stats.short_writes);
+    n = 1 + static_cast<std::size_t>(d.rng.next_range(n - 1));
+  }
+  return real_io_ops().send(fd, buf, n, flags);
+}
+
+int faulty_accept4(int fd, sockaddr* addr, socklen_t* len, int flags) {
+  die& d = this_die();
+  maybe_stall(d);
+  if (d.roll(d.plan.eintr)) {
+    bump(g_stats.eintrs);
+    errno = EINTR;
+    return -1;
+  }
+  if (d.roll(d.plan.emfile)) {
+    bump(g_stats.emfiles);
+    errno = EMFILE;
+    return -1;
+  }
+  return real_io_ops().accept4(fd, addr, len, flags);
+}
+
+int faulty_connect(int fd, const sockaddr* addr, socklen_t len) {
+  die& d = this_die();
+  maybe_stall(d);
+  if (d.roll(d.plan.eintr)) {
+    bump(g_stats.eintrs);
+    errno = EINTR;
+    return -1;
+  }
+  return real_io_ops().connect(fd, addr, len);
+}
+
+// close is never made to fail: a close that "fails" still closes the fd on
+// Linux, and injecting EINTR here would only teach callers the wrong
+// retry-close habit (retrying can close a recycled fd).
+int faulty_close(int fd) { return real_io_ops().close(fd); }
+
+constexpr io_ops k_faulty{faulty_read, faulty_send, faulty_accept4,
+                          faulty_connect, faulty_close};
+
+bool parse_double(const std::string& v, double* out) {
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0' || x < 0 || x > 1) return false;
+  *out = x;
+  return true;
+}
+
+}  // namespace
+
+fault_counters& fault_stats() noexcept { return g_stats; }
+
+bool parse_fault_spec(const std::string& spec, fault_plan* out,
+                      std::string* err) {
+  fault_plan p;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string kv = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      if (err) *err = "missing '=' in \"" + kv + "\"";
+      return false;
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    bool ok = true;
+    if (key == "seed") {
+      char* end = nullptr;
+      p.seed = std::strtoull(val.c_str(), &end, 10);
+      ok = end != val.c_str() && *end == '\0';
+    } else if (key == "stall_us") {
+      char* end = nullptr;
+      const unsigned long long us = std::strtoull(val.c_str(), &end, 10);
+      ok = end != val.c_str() && *end == '\0' && us >= 1 && us <= 100000;
+      if (ok) p.stall_us = static_cast<std::uint32_t>(us);
+    } else if (key == "short_read") {
+      ok = parse_double(val, &p.short_read);
+    } else if (key == "short_write") {
+      ok = parse_double(val, &p.short_write);
+    } else if (key == "eintr") {
+      ok = parse_double(val, &p.eintr);
+    } else if (key == "eagain") {
+      ok = parse_double(val, &p.eagain);
+    } else if (key == "reset") {
+      ok = parse_double(val, &p.reset);
+    } else if (key == "emfile") {
+      ok = parse_double(val, &p.emfile);
+    } else if (key == "stall") {
+      ok = parse_double(val, &p.stall);
+    } else {
+      if (err) *err = "unknown fault key \"" + key + "\"";
+      return false;
+    }
+    if (!ok) {
+      if (err) *err = "bad value for \"" + key + "\": \"" + val + "\"";
+      return false;
+    }
+  }
+  *out = p;
+  return true;
+}
+
+fault_plan fault_plan_from_env() {
+  fault_plan p;
+  auto envd = [](const char* name, double* out) {
+    if (const char* v = std::getenv(name)) parse_double(v, out);
+  };
+  if (const char* v = std::getenv("COHORT_NET_FAULT_SEED"))
+    p.seed = std::strtoull(v, nullptr, 10);
+  envd("COHORT_NET_FAULT_SHORT_READ", &p.short_read);
+  envd("COHORT_NET_FAULT_SHORT_WRITE", &p.short_write);
+  envd("COHORT_NET_FAULT_EINTR", &p.eintr);
+  envd("COHORT_NET_FAULT_EAGAIN", &p.eagain);
+  envd("COHORT_NET_FAULT_RESET", &p.reset);
+  envd("COHORT_NET_FAULT_EMFILE", &p.emfile);
+  envd("COHORT_NET_FAULT_STALL", &p.stall);
+  if (const char* v = std::getenv("COHORT_NET_FAULT_STALL_US")) {
+    const unsigned long long us = std::strtoull(v, nullptr, 10);
+    if (us >= 1 && us <= 100000) p.stall_us = static_cast<std::uint32_t>(us);
+  }
+  return p;
+}
+
+void install_fault_plan(const fault_plan& plan) {
+  if (!plan.active()) {
+    clear_fault_plan();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(g_plan_mu);
+    g_plan = plan;
+  }
+  g_stats.reset_all();
+  g_streams.store(0, std::memory_order_relaxed);
+  g_epoch.fetch_add(1, std::memory_order_release);
+  set_io_ops(&k_faulty);
+}
+
+void clear_fault_plan() {
+  set_io_ops(nullptr);
+  {
+    std::lock_guard<std::mutex> lk(g_plan_mu);
+    g_plan = fault_plan{};
+  }
+  g_epoch.fetch_add(1, std::memory_order_release);
+}
+
+fault_plan current_fault_plan() {
+  std::lock_guard<std::mutex> lk(g_plan_mu);
+  return g_plan;
+}
+
+}  // namespace cohort::net

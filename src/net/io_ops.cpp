@@ -1,0 +1,41 @@
+#include "net/io_ops.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+
+namespace cohort::net {
+namespace {
+
+ssize_t real_read(int fd, void* buf, std::size_t n) {
+  return ::read(fd, buf, n);
+}
+ssize_t real_send(int fd, const void* buf, std::size_t n, int flags) {
+  return ::send(fd, buf, n, flags);
+}
+int real_accept4(int fd, sockaddr* addr, socklen_t* len, int flags) {
+  return ::accept4(fd, addr, len, flags);
+}
+int real_connect(int fd, const sockaddr* addr, socklen_t len) {
+  return ::connect(fd, addr, len);
+}
+int real_close(int fd) { return ::close(fd); }
+
+constexpr io_ops k_real{real_read, real_send, real_accept4, real_connect,
+                        real_close};
+
+std::atomic<const io_ops*> g_current{&k_real};
+
+}  // namespace
+
+const io_ops& real_io_ops() noexcept { return k_real; }
+
+const io_ops& io() noexcept {
+  return *g_current.load(std::memory_order_relaxed);
+}
+
+void set_io_ops(const io_ops* table) noexcept {
+  g_current.store(table ? table : &k_real, std::memory_order_release);
+}
+
+}  // namespace cohort::net

@@ -1,5 +1,7 @@
 #include "net/socket.hpp"
 
+#include "net/io_ops.hpp"
+
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
@@ -34,7 +36,7 @@ bool parse_addr(const std::string& host, std::uint16_t port,
 }  // namespace
 
 void unique_fd::reset(int fd) noexcept {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) io().close(fd_);
   fd_ = fd;
 }
 
@@ -96,8 +98,8 @@ unique_fd connect_tcp(const std::string& host, std::uint16_t port,
   }
   int rc;
   do {
-    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                   sizeof(addr));
+    rc = io().connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr));
   } while (rc != 0 && errno == EINTR);
   if (rc != 0) {
     if (error != nullptr) *error = errno_string("connect");
